@@ -1,0 +1,97 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Because a
+full-fidelity run (29 workloads x 4 cores x many configurations) takes tens
+of minutes in pure Python, the default benchmark budget is reduced; the shape
+of every result (who wins, by roughly what factor) is preserved.  Scale the
+budget up with environment variables:
+
+* ``REPRO_BENCH_ACCESSES`` -- LLC-level accesses per workload trace
+  (default 1000; the paper's SimPoints correspond to millions).
+* ``REPRO_BENCH_CORES``    -- simulated cores (default 2; the paper uses 4).
+* ``REPRO_BENCH_WORKLOADS`` -- optional comma-separated subset of workloads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.registry import workload_names
+
+#: Directory where every benchmark's printed table/figure is also recorded,
+#: so the regenerated paper artifacts survive pytest's output capturing.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def record_benchmark_output(request, capsys):
+    """Write each benchmark's printed output to ``benchmarks/results/``.
+
+    pytest captures stdout for passing tests, so the paper-style rows the
+    benchmarks print would otherwise only be visible with ``-s``.  This
+    fixture saves them to one text file per benchmark, which EXPERIMENTS.md
+    references as the measured record.
+    """
+    yield
+    captured = capsys.readouterr()
+    if not captured.out.strip():
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    output_file = RESULTS_DIR / ("%s.txt" % request.node.name)
+    output_file.write_text(captured.out)
+    # Re-emit so the output still shows up with ``-s`` / in failure reports.
+    print(captured.out, end="")
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def bench_experiment() -> ExperimentConfig:
+    """The experiment budget used by all figure benchmarks."""
+    return ExperimentConfig(
+        num_accesses=_env_int("REPRO_BENCH_ACCESSES", 1000),
+        num_cores=_env_int("REPRO_BENCH_CORES", 2),
+    )
+
+
+def bench_workloads(memory_intensive_only: bool = False) -> List[str]:
+    """Workload list, optionally overridden via REPRO_BENCH_WORKLOADS."""
+    override = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return workload_names(memory_intensive_only=memory_intensive_only)
+
+
+@pytest.fixture
+def experiment() -> ExperimentConfig:
+    return bench_experiment()
+
+
+def print_series(title: str, per_workload: dict, summaries: Optional[dict] = None) -> None:
+    """Print a figure's series in paper order (one row per workload)."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    configs = list(per_workload)
+    workloads = list(next(iter(per_workload.values())))
+    header = "workload".ljust(14) + "".join(c.ljust(26) for c in configs)
+    print(header)
+    for workload in workloads:
+        row = workload.ljust(14)
+        for config in configs:
+            row += ("%.3f" % per_workload[config][workload]).ljust(26)
+        print(row)
+    if summaries:
+        for label, values in summaries.items():
+            row = label.ljust(14)
+            for config in configs:
+                row += ("%.3f" % values[config]).ljust(26)
+            print(row)

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Domain scenario: a graph-analytics service running inside an enclave.
+
+The paper's introduction motivates SecDDR with cloud workloads that have
+large memory footprints and irregular access patterns -- exactly the GAP
+Benchmark Suite kernels of its evaluation.  This example models that
+scenario end to end:
+
+1. Build a power-law graph with ``networkx``, lay it out in CSR format at
+   physical addresses, and run a PageRank-style traversal *through the
+   functional SecDDR memory* (every vertex/edge access is a protected
+   64-byte line read or write with real E-MACs).
+2. Generate the corresponding LLC-miss trace and compare how the same
+   workload performs under the integrity-tree baseline, SecDDR, and
+   encrypt-only memory -- the per-workload slice of Figure 6 that matters
+   for this service.
+
+Run with:  python examples/graph_analytics_enclave.py
+"""
+
+from __future__ import annotations
+
+import struct
+
+import networkx as nx
+
+from repro.core import FunctionalMemorySystem, SecDDRConfig
+from repro.sim import ExperimentConfig, run_comparison
+from repro.workloads import build_workload
+
+LINE_BYTES = 64
+VERTEX_REGION = 0x0000_0000
+EDGE_REGION = 0x0100_0000
+
+
+def _pack_line(values) -> bytes:
+    """Pack up to 8 float64 values into one 64-byte line."""
+    values = list(values)[:8]
+    values += [0.0] * (8 - len(values))
+    return struct.pack("<8d", *values)
+
+
+def _unpack_line(line: bytes):
+    return list(struct.unpack("<8d", line))
+
+
+class EnclaveGraphStore:
+    """A CSR graph stored in SecDDR-protected memory, 8 ranks per line."""
+
+    def __init__(self, graph: nx.DiGraph, memory: FunctionalMemorySystem) -> None:
+        self.memory = memory
+        self.nodes = sorted(graph.nodes())
+        self.index = {node: i for i, node in enumerate(self.nodes)}
+        self.out_edges = {
+            self.index[u]: [self.index[v] for v in graph.successors(u)] for u in self.nodes
+        }
+        self.num_vertices = len(self.nodes)
+
+    # ------------------------------------------------------------------
+    def _rank_line_address(self, vertex: int) -> int:
+        return VERTEX_REGION + (vertex // 8) * LINE_BYTES
+
+    def write_ranks(self, ranks) -> None:
+        """Store the PageRank vector, 8 values per protected line."""
+        for base in range(0, self.num_vertices, 8):
+            line = _pack_line(ranks[base : base + 8])
+            self.memory.write(self._rank_line_address(base), line)
+
+    def read_rank(self, vertex: int) -> float:
+        """Read one vertex's rank through the protected memory."""
+        line = self.memory.read(self._rank_line_address(vertex))
+        return _unpack_line(line)[vertex % 8]
+
+    def read_all_ranks(self):
+        ranks = []
+        for base in range(0, self.num_vertices, 8):
+            ranks.extend(_unpack_line(self.memory.read(self._rank_line_address(base))))
+        return ranks[: self.num_vertices]
+
+
+def pagerank_in_enclave(num_vertices: int = 256, iterations: int = 5) -> None:
+    """Run PageRank with every rank-vector access going through SecDDR."""
+    print("=" * 72)
+    print("1. PageRank over SecDDR-protected memory (functional model)")
+    print("=" * 72)
+    graph = nx.scale_free_graph(num_vertices, seed=7)
+    graph = nx.DiGraph(graph)  # collapse multi-edges
+    memory = FunctionalMemorySystem(config=SecDDRConfig(), initial_counter=0)
+    store = EnclaveGraphStore(graph, memory)
+
+    damping = 0.85
+    ranks = [1.0 / store.num_vertices] * store.num_vertices
+    store.write_ranks(ranks)
+
+    for iteration in range(iterations):
+        new_ranks = [(1.0 - damping) / store.num_vertices] * store.num_vertices
+        for u, targets in store.out_edges.items():
+            if not targets:
+                continue
+            # Read u's current rank through the protected memory.
+            share = store.read_rank(u) * damping / len(targets)
+            for v in targets:
+                new_ranks[v] += share
+        store.write_ranks(new_ranks)
+        ranks = new_ranks
+    final = store.read_all_ranks()
+    top = sorted(range(store.num_vertices), key=lambda v: -final[v])[:5]
+    print("graph: %d vertices, %d edges" % (graph.number_of_nodes(), graph.number_of_edges()))
+    print("protected memory transactions: %d reads, %d writes"
+          % (memory.stats.reads, memory.stats.writes))
+    print("counters still in sync:", memory.counters_in_sync())
+    print("top-5 vertices by PageRank:", top)
+
+
+def compare_secure_memory_cost() -> None:
+    """How much does each protection scheme cost this kind of workload?"""
+    print()
+    print("=" * 72)
+    print("2. Cost of protection for graph analytics (normalized IPC)")
+    print("=" * 72)
+    trace = build_workload("pr", num_accesses=2000)
+    comparison = run_comparison(
+        configurations=["integrity_tree_64", "secddr_ctr", "secddr_xts", "encrypt_only_xts"],
+        workloads=[trace],
+        experiment=ExperimentConfig(num_accesses=2000, num_cores=2),
+    )
+    print(comparison.format_table())
+    tree = comparison.normalized["integrity_tree_64"]["pr"]
+    secddr = comparison.normalized["secddr_xts"]["pr"]
+    print()
+    print("For the PageRank-style workload, SecDDR+XTS delivers %.0f%% more "
+          "performance than the 64-ary integrity tree." % (100.0 * (secddr / tree - 1.0)))
+
+
+def main() -> None:
+    pagerank_in_enclave()
+    compare_secure_memory_cost()
+
+
+if __name__ == "__main__":
+    main()

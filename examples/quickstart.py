@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a memory with SecDDR and watch it stop a replay attack.
+
+This example exercises the two halves of the library:
+
+1. The *functional* SecDDR model (`repro.core`): a bit-accurate protocol
+   implementation with real AES/CMAC/CRC, driven through a write/read API.
+   We mount a bus replay attack against it and against a TDX-like baseline
+   (integrity but no replay protection) and show that only SecDDR detects it.
+
+2. The *performance* model (`repro.sim`): a small simulation comparing the
+   normalized performance of an integrity tree, SecDDR, and encrypt-only
+   memory on two workloads, reproducing the qualitative result of the
+   paper's Figure 6.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import BusReplayAttack
+from repro.core import FunctionalMemorySystem, SecDDRConfig
+from repro.sim import ExperimentConfig, run_comparison
+
+
+def demonstrate_protocol() -> None:
+    """Write/read through the full SecDDR protocol and replay-attack it."""
+    print("=" * 72)
+    print("1. Functional SecDDR protocol")
+    print("=" * 72)
+
+    memory = FunctionalMemorySystem(config=SecDDRConfig(), initial_counter=0)
+    secret = b"SecDDR keeps this cache line fresh and authentic.".ljust(64, b".")
+    memory.write(0x4000, secret)
+    print("wrote a 64-byte line at 0x4000")
+    print("read back matches:", memory.read(0x4000) == secret)
+    print("ciphertext at rest differs from plaintext:",
+          memory.storage.read_line(0x4000).data != secret)
+    print("processor/DIMM transaction counters in sync:", memory.counters_in_sync())
+
+    print("\nMounting a bus replay attack (record old (data, E-MAC), replay later)...")
+    secddr_result = BusReplayAttack().run(
+        FunctionalMemorySystem(config=SecDDRConfig(), initial_counter=0), "secddr"
+    )
+    baseline_result = BusReplayAttack().run(
+        FunctionalMemorySystem(config=SecDDRConfig.baseline_no_rap(), initial_counter=0),
+        "tdx_baseline_no_rap",
+    )
+    print("  against SecDDR      :", secddr_result.outcome.value,
+          "(%s)" % (secddr_result.detection_point or "-"))
+    print("  against the baseline:", baseline_result.outcome.value,
+          "(stale data silently accepted)")
+
+
+def demonstrate_performance() -> None:
+    """Small Figure-6-style comparison on two workloads."""
+    print()
+    print("=" * 72)
+    print("2. Performance model (normalized IPC vs. the TDX-like baseline)")
+    print("=" * 72)
+    comparison = run_comparison(
+        configurations=["integrity_tree_64", "secddr_xts", "encrypt_only_xts"],
+        workloads=["pr", "gcc"],
+        experiment=ExperimentConfig(num_accesses=1500, num_cores=2),
+    )
+    print(comparison.format_table())
+    print()
+    print("SecDDR+XTS speedup over the 64-ary integrity tree: %.2fx"
+          % comparison.speedup_over("secddr_xts", "integrity_tree_64"))
+    print("SecDDR+XTS relative to encrypt-only XTS          : %.3f"
+          % (comparison.gmean("secddr_xts") / comparison.gmean("encrypt_only_xts")))
+
+
+def main() -> None:
+    demonstrate_protocol()
+    demonstrate_performance()
+
+
+if __name__ == "__main__":
+    main()

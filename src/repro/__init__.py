@@ -1,0 +1,51 @@
+"""SecDDR reproduction library.
+
+A from-scratch Python reproduction of *SecDDR: Enabling Low-Cost Secure
+Memories by Protecting the DDR Interface* (DSN 2023), including every
+substrate its evaluation depends on:
+
+* :mod:`repro.core` -- the SecDDR protocol itself (E-MACs, encrypted eWCRC,
+  transaction counters, attestation) as a bit-accurate functional model.
+* :mod:`repro.crypto` -- AES-128, CTR/XTS modes, CMAC, CRC-16, key exchange.
+* :mod:`repro.dram`, :mod:`repro.controller` -- DDR4/DDR5 DRAM, DIMM topology
+  and a FR-FCFS memory controller.
+* :mod:`repro.cache`, :mod:`repro.cpu` -- caches, metadata cache, and the
+  trace-driven multi-core model.
+* :mod:`repro.secure` -- timing models of every evaluated configuration
+  (integrity trees, SecDDR, InvisiMem, encrypt-only baselines).
+* :mod:`repro.attacks` -- replay / address-corruption / write-drop /
+  DIMM-substitution attack scenarios and detection campaigns.
+* :mod:`repro.workloads` -- SPEC-2017-like and GAPBS-like synthetic traces.
+* :mod:`repro.sim` -- the experiment runner behind the paper's figures.
+* :mod:`repro.analysis` -- power/area/security analytical models (Table II,
+  Sections III-B/C and V-B).
+
+Quick start::
+
+    from repro.sim import run_comparison
+    result = run_comparison(
+        configurations=["integrity_tree_64", "secddr_xts", "encrypt_only_xts"],
+        workloads=["mcf", "pr", "lbm"],
+    )
+    print(result.format_table())
+"""
+
+from repro.core import FunctionalMemorySystem, SecDDRConfig
+from repro.secure import build_configuration, configuration_names
+from repro.sim import ExperimentConfig, run_comparison, run_simulation
+from repro.workloads import build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FunctionalMemorySystem",
+    "SecDDRConfig",
+    "build_configuration",
+    "configuration_names",
+    "ExperimentConfig",
+    "run_comparison",
+    "run_simulation",
+    "build_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Security arithmetic from Sections III-B and III-C.
+
+Three quantitative arguments back SecDDR's security claims:
+
+1. Natural CCCA transmission errors are rare (one per ~11 days per channel at
+   the JEDEC worst-case BER), so an elevated eWCRC failure rate is itself an
+   attack signal.
+2. Brute-forcing the 16-bit encrypted eWCRC while staying under that natural
+   error rate takes on the order of a thousand years per channel at the
+   worst-case BER (and millions of years at realistic BERs).
+3. The 64-bit transaction counter does not overflow within a system lifetime,
+   and a substituted DIMM matches the processor's counter with probability
+   2^-64.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "ccca_error_interval_days",
+    "ewcrc_bruteforce_attempts",
+    "ewcrc_bruteforce_years",
+    "counter_overflow_years",
+    "dimm_substitution_match_probability",
+    "SecurityAnalysis",
+]
+
+SECONDS_PER_DAY = 86_400.0
+DAYS_PER_YEAR = 365.25
+
+
+def ccca_error_interval_days(
+    bit_error_rate: float = 1e-16,
+    ccca_rate_mtps: float = 1600.0,
+    num_signals: int = 26,
+    command_fraction: float = 0.25,
+) -> float:
+    """Expected days between natural CCCA errors on one memory channel.
+
+    Parameters
+    ----------
+    bit_error_rate:
+        Worst-case JEDEC BER (1e-16); realistic devices are 1e-22..1e-21.
+    ccca_rate_mtps:
+        CCCA transfer rate (half the DDR data rate, per the paper: 1600 MT/s
+        for DDR4-3200).
+    num_signals:
+        CCCA and data signals per x8 device (26 in the paper).
+    command_fraction:
+        Fraction of bus time carrying command/address information relevant to
+        a write (errors elsewhere do not produce an eWCRC-visible event).
+        With 0.25 the default parameters reproduce the paper's 11.13 days.
+    """
+    if bit_error_rate <= 0:
+        raise ValueError("bit error rate must be positive")
+    bits_per_second = ccca_rate_mtps * 1e6 * num_signals * command_fraction
+    errors_per_second = bit_error_rate * bits_per_second
+    return 1.0 / (errors_per_second * SECONDS_PER_DAY)
+
+
+def ewcrc_bruteforce_attempts(crc_bits: int = 16, success_probability: float = 0.5) -> int:
+    """Attempts needed to pass a random ``crc_bits`` check with given probability.
+
+    With a 16-bit eWCRC and a 50% target this is ~4.5e4 attempts, matching
+    the paper.
+    """
+    if not 0 < success_probability < 1:
+        raise ValueError("success probability must be in (0, 1)")
+    per_attempt = 2.0 ** -crc_bits
+    return math.ceil(math.log(1.0 - success_probability) / math.log(1.0 - per_attempt))
+
+
+def ewcrc_bruteforce_years(
+    bit_error_rate: float = 1e-16,
+    crc_bits: int = 16,
+    success_probability: float = 0.5,
+    parallel_channels: int = 1,
+    **interval_kwargs,
+) -> float:
+    """Years to brute-force the encrypted eWCRC while hiding in natural errors.
+
+    Each attempt must masquerade as a natural CCCA error (a higher rate would
+    itself reveal the attack), so attempts are limited to one per natural
+    error interval; ``parallel_channels`` models an attacker spanning many
+    channels/nodes.
+    """
+    attempts = ewcrc_bruteforce_attempts(crc_bits, success_probability)
+    interval_days = ccca_error_interval_days(bit_error_rate, **interval_kwargs)
+    total_days = attempts * interval_days / max(1, parallel_channels)
+    return total_days / DAYS_PER_YEAR
+
+
+def counter_overflow_years(
+    counter_bits: int = 64,
+    transactions_per_second: float = 1e9,
+) -> float:
+    """Years before a per-rank transaction counter wraps.
+
+    At one transaction per nanosecond per rank a 64-bit counter lasts more
+    than 500 years (the paper's Section III-C argument).
+    """
+    if transactions_per_second <= 0:
+        raise ValueError("transaction rate must be positive")
+    seconds = (2.0 ** counter_bits) / transactions_per_second
+    return seconds / (SECONDS_PER_DAY * DAYS_PER_YEAR)
+
+
+def dimm_substitution_match_probability(counter_bits: int = 64) -> float:
+    """Probability that a substituted DIMM's counter matches the processor's."""
+    return 2.0 ** -counter_bits
+
+
+@dataclass(frozen=True)
+class SecurityAnalysis:
+    """Bundle of the headline security numbers for easy reporting."""
+
+    worst_case_ber: float = 1e-16
+    realistic_ber: float = 1e-21
+    best_case_ber: float = 1e-22
+    crc_bits: int = 16
+    counter_bits: int = 64
+
+    def report(self) -> Dict[str, float]:
+        """All headline quantities in one dictionary."""
+        return {
+            "ccca_error_interval_days_worst_ber": ccca_error_interval_days(self.worst_case_ber),
+            "ewcrc_attempts_for_50pct": float(ewcrc_bruteforce_attempts(self.crc_bits)),
+            "bruteforce_years_worst_ber": ewcrc_bruteforce_years(self.worst_case_ber, self.crc_bits),
+            "bruteforce_years_realistic_ber": ewcrc_bruteforce_years(self.realistic_ber, self.crc_bits),
+            "bruteforce_years_parallel_1000x16": ewcrc_bruteforce_years(
+                self.best_case_ber, self.crc_bits, parallel_channels=1000 * 16
+            ),
+            "counter_overflow_years": counter_overflow_years(self.counter_bits),
+            "dimm_substitution_match_probability": dimm_substitution_match_probability(
+                self.counter_bits
+            ),
+        }

@@ -1,0 +1,46 @@
+"""Attack-simulation framework.
+
+Implements every attack scenario the paper analyses (Sections II-C and III)
+against the functional memory system of :mod:`repro.core`:
+
+* :mod:`repro.attacks.adversary` -- the bus interposer model (record, replay,
+  tamper, drop) shared by the concrete attacks.
+* :mod:`repro.attacks.replay` -- bus replay of a stale (data, MAC) pair
+  (Figure 1).
+* :mod:`repro.attacks.address_corruption` -- misdirected-write stale-data
+  attack via a corrupted row/column address (Figure 3).
+* :mod:`repro.attacks.write_drop` -- dropped writes and write-to-read command
+  conversion.
+* :mod:`repro.attacks.dimm_substitution` -- cold-boot style DIMM substitution.
+* :mod:`repro.attacks.rowhammer` -- data-at-rest bit flips.
+* :mod:`repro.attacks.campaign` -- run the full battery against a
+  configuration and summarize who detects what (the paper's security claims
+  as an executable table).
+"""
+
+from repro.attacks.adversary import BusAdversary, RecordingAdversary
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.attacks.replay import BusReplayAttack
+from repro.attacks.address_corruption import AddressCorruptionAttack
+from repro.attacks.write_drop import WriteDropAttack, WriteToReadConversionAttack
+from repro.attacks.dimm_substitution import DimmSubstitutionAttack
+from repro.attacks.rowhammer import RowHammerAttack, ReadTamperAttack
+from repro.attacks.relocation import DataRelocationAttack
+from repro.attacks.campaign import AttackCampaign, run_standard_campaign
+
+__all__ = [
+    "BusAdversary",
+    "RecordingAdversary",
+    "AttackOutcome",
+    "AttackResult",
+    "BusReplayAttack",
+    "AddressCorruptionAttack",
+    "WriteDropAttack",
+    "WriteToReadConversionAttack",
+    "DimmSubstitutionAttack",
+    "RowHammerAttack",
+    "ReadTamperAttack",
+    "DataRelocationAttack",
+    "AttackCampaign",
+    "run_standard_campaign",
+]

@@ -1,0 +1,98 @@
+"""Bus-interposer adversary model.
+
+The threat model (paper Section II-A) gives the attacker full control over
+everything outside the processor package and the ECC-chip package: the
+memory bus, on-DIMM interconnects, and any non-TCB component.  Concretely,
+the adversary can observe and modify every bus transaction.  The classes here
+provide that capability as hooks the :class:`repro.core.memory_system.MemoryBus`
+invokes; concrete attacks configure them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.protocol import ReadCommand, ReadResponse, WriteCommand, WriteTransaction
+
+__all__ = ["BusAdversary", "RecordingAdversary"]
+
+
+class BusAdversary:
+    """Base adversary: observes everything, forwards everything unchanged.
+
+    Subclasses (or instances with the callable hooks set) override the
+    ``intercept_*`` methods to tamper, replay or drop.
+    """
+
+    def __init__(self) -> None:
+        self.writes_seen: List[WriteTransaction] = []
+        self.read_commands_seen: List[ReadCommand] = []
+        self.read_responses_seen: List[ReadResponse] = []
+        #: Optional callable hooks, for ad-hoc attacks without subclassing.
+        self.write_hook: Optional[Callable[[WriteTransaction], Optional[WriteTransaction]]] = None
+        self.read_command_hook: Optional[Callable[[ReadCommand], Optional[ReadCommand]]] = None
+        self.read_response_hook: Optional[
+            Callable[[ReadCommand, ReadResponse], ReadResponse]
+        ] = None
+
+    # ------------------------------------------------------------------
+    def intercept_write(self, transaction: WriteTransaction) -> Optional[WriteTransaction]:
+        """Observe (and possibly modify or drop) a write transaction."""
+        self.writes_seen.append(transaction)
+        if self.write_hook is not None:
+            return self.write_hook(transaction)
+        return transaction
+
+    def intercept_read_command(self, command: ReadCommand) -> Optional[ReadCommand]:
+        """Observe (and possibly modify or drop) a read command."""
+        self.read_commands_seen.append(command)
+        if self.read_command_hook is not None:
+            return self.read_command_hook(command)
+        return command
+
+    def intercept_read_response(self, command: ReadCommand, response: ReadResponse) -> ReadResponse:
+        """Observe (and possibly modify) a read response."""
+        self.read_responses_seen.append(response)
+        if self.read_response_hook is not None:
+            return self.read_response_hook(command, response)
+        return response
+
+
+class RecordingAdversary(BusAdversary):
+    """An eavesdropper that memoizes the traffic per address.
+
+    This is the first stage of a replay attack: the attacker "has to
+    precisely track memory addresses, memoize changes to a specific location
+    over time, and precisely replay a (Data, MAC) tuple" (Section II-C).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Most recent (and history of) read responses per address.
+        self.response_history: Dict[int, List[ReadResponse]] = {}
+        #: Most recent write transaction per *intended* address.
+        self.write_history: Dict[int, List[WriteTransaction]] = {}
+
+    def intercept_write(self, transaction: WriteTransaction) -> Optional[WriteTransaction]:
+        self.write_history.setdefault(transaction.command.address, []).append(transaction)
+        return super().intercept_write(transaction)
+
+    def intercept_read_response(self, command: ReadCommand, response: ReadResponse) -> ReadResponse:
+        self.response_history.setdefault(command.address, []).append(response)
+        return super().intercept_read_response(command, response)
+
+    # ------------------------------------------------------------------
+    def recorded_response(self, address: int, index: int = 0) -> Optional[ReadResponse]:
+        """A previously captured response for ``address`` (oldest by default)."""
+        history = self.response_history.get(address)
+        if not history:
+            return None
+        return history[index]
+
+    def recorded_write(self, address: int, index: int = 0) -> Optional[WriteTransaction]:
+        """A previously captured write for ``address`` (oldest by default)."""
+        history = self.write_history.get(address)
+        if not history:
+            return None
+        return history[index]

@@ -1,0 +1,29 @@
+"""Cache substrate: set-associative caches, metadata cache, prefetcher.
+
+The SecDDR evaluation's workload behaviour is dominated by two caches:
+
+* the shared last-level cache, which determines which accesses reach memory
+  (the workload generators in :mod:`repro.workloads` produce LLC-miss-level
+  traces directly, but the cache model is used by the examples and by the
+  functional model), and
+* the 128 KB shared **metadata cache** (Table I) that filters encryption
+  counter and integrity-tree accesses -- its per-workload hit rate is what
+  Figure 7 plots and what drives the integrity tree's slowdown in Figure 6.
+"""
+
+from repro.cache.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
+from repro.cache.cache import Cache, CacheConfig, CacheStats, AccessOutcome
+from repro.cache.metadata_cache import MetadataCache
+from repro.cache.prefetcher import StreamPrefetcher
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "AccessOutcome",
+    "MetadataCache",
+    "StreamPrefetcher",
+]

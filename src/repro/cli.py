@@ -1,0 +1,175 @@
+"""Command-line interface for the SecDDR reproduction.
+
+Gives downstream users a way to drive the main experiments without writing
+Python::
+
+    python -m repro.cli configs                    # list configurations
+    python -m repro.cli workloads                  # list workloads
+    python -m repro.cli compare -w pr,mcf -c integrity_tree_64,secddr_xts
+    python -m repro.cli attack                     # attack detection matrix
+    python -m repro.cli power                      # Table II power model
+    python -m repro.cli security                   # Section III arithmetic
+    python -m repro.cli scalability                # tree-vs-SecDDR scaling
+
+Every subcommand prints the same tables the benchmark harness records under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.power import table2_power_overheads
+from repro.analysis.scalability import scalability_sweep
+from repro.analysis.security_math import SecurityAnalysis
+from repro.attacks.campaign import AttackCampaign, run_standard_campaign
+from repro.secure.configs import CONFIGURATIONS, configuration_names
+from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.workloads.registry import ALL_WORKLOADS, workload_names
+
+__all__ = ["build_parser", "main"]
+
+GB = 2**30
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SecDDR reproduction: experiments, attacks, and analytical models.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("configs", help="list the named secure-memory configurations")
+    subparsers.add_parser("workloads", help="list the available workloads")
+    subparsers.add_parser("attack", help="run the attack campaign and print the detection matrix")
+    subparsers.add_parser("power", help="print the Table II power-overhead model")
+    subparsers.add_parser("security", help="print the Section III security arithmetic")
+    subparsers.add_parser("scalability", help="print the tree-vs-SecDDR scalability sweep")
+
+    compare = subparsers.add_parser(
+        "compare", help="simulate configurations over workloads and print normalized IPC"
+    )
+    compare.add_argument(
+        "-c", "--configurations",
+        default="integrity_tree_64,secddr_ctr,encrypt_only_ctr,secddr_xts,encrypt_only_xts",
+        help="comma-separated configuration names (default: the Figure 6 set)",
+    )
+    compare.add_argument(
+        "-w", "--workloads",
+        default="mcf,pr,lbm,gcc",
+        help="comma-separated workload names",
+    )
+    compare.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
+    compare.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
+    compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    return parser
+
+
+def _split(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _cmd_configs() -> int:
+    print("%-28s %-10s %-6s %s" % ("name", "encryption", "RAP", "description"))
+    for name in configuration_names():
+        spec = CONFIGURATIONS[name]
+        print("%-28s %-10s %-6s %s" % (
+            name, spec.encryption.value, "yes" if spec.replay_protection else "no", spec.description,
+        ))
+    return 0
+
+
+def _cmd_workloads() -> int:
+    print("%-14s %-10s %8s %8s %s" % ("name", "suite", "MPKI", "writes", "memory-intensive"))
+    for name in workload_names():
+        spec = ALL_WORKLOADS[name]
+        print("%-14s %-10s %8.1f %7.0f%% %s" % (
+            name, spec.suite, spec.mpki, 100 * spec.write_fraction,
+            "yes" if spec.memory_intensive else "no",
+        ))
+    return 0
+
+
+def _cmd_attack() -> int:
+    results = run_standard_campaign()
+    print(AttackCampaign.format_matrix(results))
+    undetected = [r for r in results if r.configuration == "secddr" and not r.detected]
+    print()
+    print("SecDDR detected %d / %d attacks."
+          % (sum(1 for r in results if r.configuration == "secddr" and r.detected),
+             sum(1 for r in results if r.configuration == "secddr")))
+    return 1 if undetected else 0
+
+
+def _cmd_power() -> int:
+    print("%-22s %10s %16s %12s" % ("configuration", "AES units", "AES power (mW)", "overhead"))
+    for row in table2_power_overheads():
+        print("%-22s %10d %16.1f %11.1f%%" % (
+            row.configuration, row.aes_units_per_ecc_chip,
+            row.aes_power_per_ecc_chip_mw, row.overhead_per_rank_percent,
+        ))
+    return 0
+
+
+def _cmd_security() -> int:
+    for key, value in SecurityAnalysis().report().items():
+        print("%-44s %g" % (key, value))
+    return 0
+
+
+def _cmd_scalability() -> int:
+    sweep = scalability_sweep()
+    print("%-12s %18s %18s %12s %12s" % (
+        "capacity", "64-ary tree", "8-ary hash tree", "SecDDR+CTR", "SecDDR+XTS",
+    ))
+    for capacity, points in sweep.items():
+        print("%-12s %18d %18d %12d %12d" % (
+            "%d GiB" % (capacity // GB),
+            points["counter_tree"].worst_case_extra_accesses,
+            points["hash_merkle_tree"].worst_case_extra_accesses,
+            points["secddr_ctr"].worst_case_extra_accesses,
+            points["secddr_xts"].worst_case_extra_accesses,
+        ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
+    comparison = run_comparison(
+        configurations=_split(args.configurations),
+        workloads=_split(args.workloads),
+        baseline=args.baseline,
+        experiment=experiment,
+    )
+    print(comparison.format_table())
+    print()
+    for config in comparison.configurations:
+        print("gmean %-28s %.3f" % (config, comparison.gmean(config)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "configs":
+        return _cmd_configs()
+    if args.command == "workloads":
+        return _cmd_workloads()
+    if args.command == "attack":
+        return _cmd_attack()
+    if args.command == "power":
+        return _cmd_power()
+    if args.command == "security":
+        return _cmd_security()
+    if args.command == "scalability":
+        return _cmd_scalability()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Memory controller substrate.
+
+Models the processor-side memory controller the SecDDR evaluation assumes:
+64-entry read and write queues, FR-FCFS scheduling, write draining with
+high/low watermarks, and read-priority service (Table I of the paper).
+
+* :mod:`repro.controller.queues` -- bounded read/write queues.
+* :mod:`repro.controller.scheduler` -- FR-FCFS request ordering policy.
+* :mod:`repro.controller.memory_controller` -- the controller front end the
+  CPU/system model talks to.
+"""
+
+from repro.controller.queues import RequestQueue
+from repro.controller.scheduler import FRFCFSScheduler
+from repro.controller.memory_controller import MemoryController, ControllerConfig, ControllerStats
+
+__all__ = [
+    "RequestQueue",
+    "FRFCFSScheduler",
+    "MemoryController",
+    "ControllerConfig",
+    "ControllerStats",
+]

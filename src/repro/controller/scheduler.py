@@ -1,0 +1,74 @@
+"""FR-FCFS request scheduling policy.
+
+First-Ready, First-Come-First-Served: among queued requests, those that hit
+an already-open row are preferred (they need only a column command); ties are
+broken by arrival order.  This is the de facto baseline policy in DRAM
+simulators (Ramulator uses it by default) and is what the paper's memory
+controller configuration implies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.channel import Channel
+from repro.dram.commands import MemoryRequest
+
+__all__ = ["FRFCFSScheduler"]
+
+
+class FRFCFSScheduler:
+    """Orders pending requests by (row-hit first, then oldest first)."""
+
+    def __init__(self, mapping: AddressMapping) -> None:
+        self.mapping = mapping
+
+    # ------------------------------------------------------------------
+    def is_row_hit(self, channel: Channel, request: MemoryRequest) -> bool:
+        """Whether ``request`` would hit an open row right now."""
+        decoded = self.mapping.decode(request.address)
+        bank = channel.rank(decoded.rank).bank(decoded.bank_group, decoded.bank)
+        return bank.is_row_open(decoded.row)
+
+    def pick_next(
+        self,
+        channel: Channel,
+        pending: Sequence[MemoryRequest],
+    ) -> Optional[MemoryRequest]:
+        """Pick the next request to service from ``pending``.
+
+        Row hits are preferred; among equals, the oldest (lowest arrival
+        cycle, then lowest request id) wins, which preserves FCFS fairness
+        and avoids starvation in the common case.
+        """
+        if not pending:
+            return None
+        best: Optional[MemoryRequest] = None
+        best_key: Optional[tuple] = None
+        for request in pending:
+            hit = self.is_row_hit(channel, request)
+            key = (0 if hit else 1, request.arrival_cycle, request.request_id)
+            if best_key is None or key < best_key:
+                best, best_key = request, key
+        return best
+
+    def order(
+        self,
+        channel: Channel,
+        pending: Iterable[MemoryRequest],
+    ) -> List[MemoryRequest]:
+        """Return a full service order for ``pending`` (greedy FR-FCFS).
+
+        The open-row state is only consulted once per pick (the greedy
+        approximation normal hardware schedulers also make); the returned
+        order is what the controller's write-drain loop follows.
+        """
+        remaining = list(pending)
+        ordered: List[MemoryRequest] = []
+        while remaining:
+            choice = self.pick_next(channel, remaining)
+            assert choice is not None
+            remaining.remove(choice)
+            ordered.append(choice)
+        return ordered

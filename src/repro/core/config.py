@@ -1,0 +1,64 @@
+"""SecDDR protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SecDDRConfig"]
+
+
+@dataclass(frozen=True)
+class SecDDRConfig:
+    """Parameters of the SecDDR protocol instance.
+
+    Attributes
+    ----------
+    mac_bytes:
+        Width of the per-line MAC stored in the ECC chips (8 bytes, as in
+        SGX/TDX-style designs).
+    ewcrc_bytes:
+        Width of the extended write CRC (2 bytes / 16 bits, the value the
+        paper's brute-force analysis uses).
+    counter_bits:
+        Width of the per-rank transaction counter ``Ct`` (64 bits; overflow
+        takes >500 years at one transaction per nanosecond).
+    emac_enabled:
+        When False the MAC crosses the bus in plain text -- this degenerates
+        SecDDR into the TDX-like baseline and is what the attack tests use to
+        show that the replay attack *succeeds* without SecDDR.
+    ewcrc_enabled:
+        When False, misdirected-write (stale-data) attacks on the
+        command/address bus are not detected at write time.
+    counter_parity_rule:
+        When True, reads use even counter values and writes odd ones, which
+        turns a write-to-read command conversion into a counter mismatch
+        (Section III-B).
+    line_bytes:
+        Cache-line size (64 bytes).
+    """
+
+    mac_bytes: int = 8
+    ewcrc_bytes: int = 2
+    counter_bits: int = 64
+    emac_enabled: bool = True
+    ewcrc_enabled: bool = True
+    counter_parity_rule: bool = True
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mac_bytes <= 0 or self.mac_bytes > 16:
+            raise ValueError("mac_bytes must be in 1..16")
+        if self.ewcrc_bytes not in (1, 2):
+            raise ValueError("ewcrc_bytes must be 1 or 2")
+        if self.counter_bits < 8:
+            raise ValueError("counter_bits must be at least 8")
+
+    @property
+    def counter_modulus(self) -> int:
+        """Counter wrap-around modulus."""
+        return 1 << self.counter_bits
+
+    @classmethod
+    def baseline_no_rap(cls) -> "SecDDRConfig":
+        """The TDX-like baseline: MACs exist but cross the bus unencrypted."""
+        return cls(emac_enabled=False, ewcrc_enabled=False, counter_parity_rule=False)

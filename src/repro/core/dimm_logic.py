@@ -1,0 +1,163 @@
+"""ECC-chip (or ECC data buffer) security logic: the on-DIMM half of SecDDR.
+
+SecDDR deliberately keeps the memory side dumb: the ECC chip never verifies
+MACs.  Per rank it holds only a ``Kt`` register, a transaction counter, and
+AES/XOR logic.  On writes it recovers the plain MAC from the E-MAC (storing
+it at rest), and -- before committing -- checks the encrypted eWCRC against
+the address it actually decoded, which is what defeats misdirected-write
+attacks.  On reads it re-encrypts the stored MAC with the current counter and
+sends the E-MAC back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import SecDDRConfig
+from repro.core.emac import encrypt_mac, recover_mac
+from repro.core.ewcrc import verify_encrypted_ewcrc
+from repro.core.protocol import ReadCommand, ReadResponse, WriteTransaction
+from repro.core.transaction_counter import TransactionCounter
+from repro.dram.address_mapping import AddressMapping, DecodedAddress
+from repro.dram.storage import DramStorage
+
+__all__ = ["WriteRejected", "EccChipLogic"]
+
+
+class WriteRejected(RuntimeError):
+    """Raised when the ECC chip's eWCRC check fails and the write is dropped.
+
+    In hardware the chip would signal ALERT_n to the controller; the
+    functional model raises so the memory system can count the event and the
+    attack tests can assert detection-at-write-time.
+    """
+
+
+class EccChipLogic:
+    """Security logic of one rank's ECC chip."""
+
+    def __init__(
+        self,
+        rank: int,
+        storage: DramStorage,
+        mapping: Optional[AddressMapping] = None,
+        config: Optional[SecDDRConfig] = None,
+    ) -> None:
+        self.rank = rank
+        self.storage = storage
+        self.mapping = mapping or AddressMapping()
+        self.config = config or SecDDRConfig()
+        self._transaction_key: Optional[bytes] = None
+        self._counter: Optional[TransactionCounter] = None
+        #: Number of writes rejected by the eWCRC check.
+        self.writes_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Attestation-time provisioning
+    # ------------------------------------------------------------------
+    def install_channel(self, transaction_key: bytes, initial_counter: int) -> None:
+        """Install ``Kt`` and the agreed initial ``Ct`` for this rank."""
+        if len(transaction_key) != 16:
+            raise ValueError("transaction key must be 16 bytes")
+        self._transaction_key = transaction_key
+        self._counter = TransactionCounter(
+            initial_value=initial_counter,
+            counter_bits=self.config.counter_bits,
+            parity_rule=self.config.counter_parity_rule,
+        )
+
+    @property
+    def counter(self) -> TransactionCounter:
+        if self._counter is None:
+            raise RuntimeError("rank %d ECC chip has not been attested" % self.rank)
+        return self._counter
+
+    def _require_channel(self) -> bytes:
+        if self._transaction_key is None or self._counter is None:
+            raise RuntimeError("rank %d ECC chip has not been attested" % self.rank)
+        return self._transaction_key
+
+    # ------------------------------------------------------------------
+    def _storage_address(self, rank: int, bank_group: int, bank: int, row: int, column: int) -> int:
+        """Re-encode the decoded coordinates the chip observed into an address.
+
+        This is the address the write/read actually lands at -- if the CCCA
+        signals were corrupted, it differs from the address the processor
+        intended, which is precisely the stale-data attack surface.
+        """
+        decoded = DecodedAddress(
+            channel=0,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+        return self.mapping.encode(decoded)
+
+    # ------------------------------------------------------------------
+    # Bus handlers
+    # ------------------------------------------------------------------
+    def handle_write(self, transaction: WriteTransaction) -> int:
+        """Commit a write burst; returns the storage address it landed at.
+
+        When eWCRC is enabled the chip verifies it against the decoded
+        address *before* performing the write and raises
+        :class:`WriteRejected` on mismatch.
+        """
+        command = transaction.command
+        storage_address = self._storage_address(
+            command.rank, command.bank_group, command.bank, command.row, command.column
+        )
+
+        if not self.config.emac_enabled:
+            # Baseline: the plain MAC arrives and is stored as-is.
+            self.storage.write_line(storage_address, transaction.ciphertext, transaction.ecc_payload)
+            return storage_address
+
+        kt = self._require_channel()
+        ct = self.counter.next_write()
+        mac = recover_mac(transaction.ecc_payload, kt, ct)
+
+        if self.config.ewcrc_enabled:
+            if transaction.encrypted_ewcrc is None:
+                self.writes_rejected += 1
+                raise WriteRejected("write to 0x%x carried no eWCRC burst" % storage_address)
+            ok = verify_encrypted_ewcrc(
+                transaction.encrypted_ewcrc,
+                payload=mac,
+                transaction_key=kt,
+                transaction_counter=ct,
+                rank=command.rank,
+                bank_group=command.bank_group,
+                bank=command.bank,
+                row=command.row,
+                column=command.column,
+            )
+            if not ok:
+                self.writes_rejected += 1
+                raise WriteRejected(
+                    "eWCRC mismatch on write to row 0x%x / column 0x%x -- "
+                    "address or data corruption detected before commit"
+                    % (command.row, command.column)
+                )
+
+        self.storage.write_line(storage_address, transaction.ciphertext, mac)
+        return storage_address
+
+    def handle_read(self, command: ReadCommand) -> ReadResponse:
+        """Serve a read burst: fetch (data, MAC) and encrypt the MAC for the bus."""
+        storage_address = self._storage_address(
+            command.rank, command.bank_group, command.bank, command.row, command.column
+        )
+        stored = self.storage.read_line(storage_address)
+
+        if not self.config.emac_enabled:
+            payload = stored.ecc_payload
+        else:
+            kt = self._require_channel()
+            ct = self.counter.next_read()
+            payload = encrypt_mac(stored.ecc_payload, kt, ct)
+
+        return ReadResponse(command=command, ciphertext=stored.data, ecc_payload=payload)

@@ -1,0 +1,43 @@
+"""E-MAC: encrypting the per-line MAC while it crosses the DDR bus.
+
+The MAC is XORed with a one-time pad derived from the transaction key ``Kt``
+and the per-rank transaction counter ``Ct`` (Section III-A).  Because ``Ct``
+advances on every transaction and is never reused, the same stored MAC never
+appears twice on the bus, which is what defeats bus replay: an attacker who
+replays an old (data, E-MAC) pair causes the processor to recover a wrong MAC
+after XORing with the *current* pad.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modes import one_time_pad, xor_bytes
+
+__all__ = ["encrypt_mac", "recover_mac"]
+
+
+def encrypt_mac(mac: bytes, transaction_key: bytes, transaction_counter: int) -> bytes:
+    """Encrypt ``mac`` for bus transfer (produce the E-MAC).
+
+    Parameters
+    ----------
+    mac:
+        The per-line MAC (stored unencrypted at rest in the ECC chips).
+    transaction_key:
+        ``Kt``, the 16-byte key agreed at attestation.
+    transaction_counter:
+        ``Ct`` for this transaction.
+    """
+    pad = one_time_pad(transaction_key, transaction_counter, len(mac))
+    return xor_bytes(mac, pad)
+
+
+def recover_mac(emac: bytes, transaction_key: bytes, transaction_counter: int) -> bytes:
+    """Recover the plain MAC from an E-MAC (XOR with the same pad).
+
+    Both endpoints call this; on the DIMM the recovered MAC is simply stored,
+    on the processor it is compared against the locally computed MAC.  If the
+    counter used here differs from the one used at encryption time (replay,
+    dropped transaction, command conversion, DIMM substitution) the result is
+    effectively random and verification fails.
+    """
+    return encrypt_mac(emac, transaction_key, transaction_counter)

@@ -1,0 +1,80 @@
+"""Encrypted extended write CRC (SecDDR Section III-B).
+
+AI-ECC's eWCRC lets each DRAM chip check, *before committing a write*, that
+the data it received and the address it decoded match what the memory
+controller intended.  SecDDR encrypts the ECC chip's eWCRC with a
+write-specific one-time pad ``OTPw_t`` that folds in the write address, so an
+adversary who corrupts the command/address signals cannot craft a value that
+still passes the (non-cryptographic) CRC check.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.crypto.crc import ewcrc
+from repro.crypto.modes import one_time_pad, xor_bytes
+
+__all__ = ["pack_write_address", "make_encrypted_ewcrc", "verify_encrypted_ewcrc"]
+
+
+def pack_write_address(rank: int, bank_group: int, bank: int, row: int, column: int) -> int:
+    """Fold the decoded write coordinates into one integer for the OTP."""
+    return (
+        (rank & 0xF) << 60
+        | (bank_group & 0xF) << 56
+        | (bank & 0xFF) << 48
+        | (row & 0xFFFFFFFF) << 16
+        | (column & 0xFFFF)
+    )
+
+
+def make_encrypted_ewcrc(
+    payload: bytes,
+    transaction_key: bytes,
+    transaction_counter: int,
+    rank: int,
+    bank_group: int,
+    bank: int,
+    row: int,
+    column: int,
+    ewcrc_bytes: int = 2,
+) -> bytes:
+    """Compute the encrypted eWCRC the memory controller sends with a write.
+
+    ``payload`` is the ECC chip's burst content (the plain MAC, before E-MAC
+    encryption -- the paper generates the eWCRC before encrypting the MAC).
+    """
+    crc_value = ewcrc(payload, rank, bank_group, bank, row, column)
+    crc_raw = struct.pack(">H", crc_value)[-ewcrc_bytes:]
+    address_word = pack_write_address(rank, bank_group, bank, row, column)
+    pad = one_time_pad(transaction_key, transaction_counter, ewcrc_bytes, address=address_word)
+    return xor_bytes(crc_raw, pad)
+
+
+def verify_encrypted_ewcrc(
+    encrypted_crc: bytes,
+    payload: bytes,
+    transaction_key: bytes,
+    transaction_counter: int,
+    rank: int,
+    bank_group: int,
+    bank: int,
+    row: int,
+    column: int,
+) -> bool:
+    """ECC-chip-side check before a write is committed.
+
+    The chip decrypts with the pad derived from the address *it decoded* and
+    recomputes the CRC over the payload *it received* and that same address.
+    Any corruption of the address (or of the payload) makes the two disagree
+    with probability ``1 - 2**-16``.
+    """
+    ewcrc_bytes = len(encrypted_crc)
+    address_word = pack_write_address(rank, bank_group, bank, row, column)
+    pad = one_time_pad(transaction_key, transaction_counter, ewcrc_bytes, address=address_word)
+    received_crc = xor_bytes(encrypted_crc, pad)
+    expected_value = ewcrc(payload, rank, bank_group, bank, row, column)
+    expected = struct.pack(">H", expected_value)[-ewcrc_bytes:]
+    return received_crc == expected

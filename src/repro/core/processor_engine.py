@@ -1,0 +1,193 @@
+"""Processor-side memory encryption engine extended with SecDDR logic.
+
+The engine owns the data-encryption keys and the MAC key (as any SGX/TDX
+style engine does) plus, per rank, the SecDDR transaction key ``Kt`` and the
+transaction counter ``Ct`` synchronized with that rank's ECC chip.  It
+produces the bus-level write transactions and verifies read responses; the
+only place MAC verification happens in SecDDR is here (Section III-A).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SecDDRConfig
+from repro.core.emac import encrypt_mac, recover_mac
+from repro.core.ewcrc import make_encrypted_ewcrc
+from repro.core.protocol import (
+    IntegrityViolation,
+    ReadCommand,
+    ReadResponse,
+    WriteCommand,
+    WriteTransaction,
+)
+from repro.core.transaction_counter import TransactionCounter
+from repro.crypto.mac import line_mac
+from repro.crypto.modes import xts_decrypt, xts_encrypt
+from repro.dram.address_mapping import AddressMapping
+
+__all__ = ["ProcessorEngine"]
+
+
+class ProcessorEngine:
+    """The trusted, on-chip half of the SecDDR protocol."""
+
+    def __init__(
+        self,
+        config: Optional[SecDDRConfig] = None,
+        mapping: Optional[AddressMapping] = None,
+        data_key: Optional[bytes] = None,
+        tweak_key: Optional[bytes] = None,
+        mac_key: Optional[bytes] = None,
+    ) -> None:
+        self.config = config or SecDDRConfig()
+        self.mapping = mapping or AddressMapping()
+        self._data_key = data_key or secrets.token_bytes(16)
+        self._tweak_key = tweak_key or secrets.token_bytes(16)
+        self._mac_key = mac_key or secrets.token_bytes(16)
+        #: Per-rank transaction keys, installed at attestation time.
+        self._transaction_keys: Dict[int, bytes] = {}
+        #: Per-rank transaction counters, agreed at attestation time.
+        self._counters: Dict[int, TransactionCounter] = {}
+        #: Count of integrity violations detected (for statistics/tests).
+        self.violations_detected = 0
+
+    # ------------------------------------------------------------------
+    # Attestation-time provisioning
+    # ------------------------------------------------------------------
+    def rotate_keys(self) -> None:
+        """Regenerate the data-encryption and MAC keys.
+
+        SGX/TDX-style memory encryption engines derive fresh ephemeral keys
+        at every boot, so ciphertext and MACs from a previous session can
+        never verify in the next one.  The functional model calls this on
+        re-attestation (reboot / DIMM replacement) to defeat replay of stale
+        pre-boot state even if an attacker re-injects it after the
+        initialization-time memory clear.
+        """
+        self._data_key = secrets.token_bytes(16)
+        self._tweak_key = secrets.token_bytes(16)
+        self._mac_key = secrets.token_bytes(16)
+
+    def install_rank_channel(self, rank: int, transaction_key: bytes, initial_counter: int) -> None:
+        """Install the secure E-MAC channel state for ``rank``."""
+        if len(transaction_key) != 16:
+            raise ValueError("transaction key must be 16 bytes")
+        self._transaction_keys[rank] = transaction_key
+        self._counters[rank] = TransactionCounter(
+            initial_value=initial_counter,
+            counter_bits=self.config.counter_bits,
+            parity_rule=self.config.counter_parity_rule,
+        )
+
+    def counter_for_rank(self, rank: int) -> TransactionCounter:
+        """The processor-side counter copy for ``rank``."""
+        return self._counters[rank]
+
+    def _channel(self, rank: int) -> Tuple[bytes, TransactionCounter]:
+        if rank not in self._transaction_keys:
+            raise RuntimeError(
+                "rank %d has no E-MAC channel; run attestation first" % rank
+            )
+        return self._transaction_keys[rank], self._counters[rank]
+
+    # ------------------------------------------------------------------
+    # Data-path crypto helpers
+    # ------------------------------------------------------------------
+    def encrypt_line(self, address: int, plaintext: bytes) -> bytes:
+        """AES-XTS encrypt a line with the address as the tweak."""
+        if len(plaintext) != self.config.line_bytes:
+            raise ValueError("plaintext must be %d bytes" % self.config.line_bytes)
+        return xts_encrypt(self._data_key, self._tweak_key, address, plaintext)
+
+    def decrypt_line(self, address: int, ciphertext: bytes) -> bytes:
+        """AES-XTS decrypt a line."""
+        return xts_decrypt(self._data_key, self._tweak_key, address, ciphertext)
+
+    def compute_mac(self, address: int, ciphertext: bytes) -> bytes:
+        """Per-line MAC over the ciphertext and its physical address."""
+        return line_mac(self._mac_key, ciphertext, address, mac_bytes=self.config.mac_bytes)
+
+    # ------------------------------------------------------------------
+    # Bus transaction construction / verification
+    # ------------------------------------------------------------------
+    def make_write(self, address: int, plaintext: bytes) -> WriteTransaction:
+        """Build the write transaction for ``plaintext`` at ``address``."""
+        decoded = self.mapping.decode(address)
+        command = WriteCommand(
+            address=address,
+            rank=decoded.rank,
+            bank_group=decoded.bank_group,
+            bank=decoded.bank,
+            row=decoded.row,
+            column=decoded.column,
+        )
+        ciphertext = self.encrypt_line(address, plaintext)
+        mac = self.compute_mac(address, ciphertext)
+
+        if not self.config.emac_enabled:
+            # No-RAP baseline: the plain MAC crosses the bus and no eWCRC is
+            # appended.
+            return WriteTransaction(command=command, ciphertext=ciphertext, ecc_payload=mac)
+
+        kt, counter = self._channel(decoded.rank)
+        ct = counter.next_write()
+        emac = encrypt_mac(mac, kt, ct)
+        encrypted_crc = None
+        if self.config.ewcrc_enabled:
+            encrypted_crc = make_encrypted_ewcrc(
+                payload=mac,
+                transaction_key=kt,
+                transaction_counter=ct,
+                rank=decoded.rank,
+                bank_group=decoded.bank_group,
+                bank=decoded.bank,
+                row=decoded.row,
+                column=decoded.column,
+                ewcrc_bytes=self.config.ewcrc_bytes,
+            )
+        return WriteTransaction(
+            command=command,
+            ciphertext=ciphertext,
+            ecc_payload=emac,
+            encrypted_ewcrc=encrypted_crc,
+        )
+
+    def make_read_command(self, address: int) -> ReadCommand:
+        """Build the read command for ``address``."""
+        decoded = self.mapping.decode(address)
+        return ReadCommand(
+            address=address,
+            rank=decoded.rank,
+            bank_group=decoded.bank_group,
+            bank=decoded.bank,
+            row=decoded.row,
+            column=decoded.column,
+        )
+
+    def verify_read(self, address: int, response: ReadResponse) -> bytes:
+        """Verify a read response and return the decrypted plaintext.
+
+        Raises :class:`IntegrityViolation` when the recovered MAC does not
+        match the MAC recomputed over the received data and the *requested*
+        address -- the single check that catches bus replays, data-at-rest
+        corruption, misdirected reads, and stale writes (Section III-A).
+        """
+        decoded = self.mapping.decode(address)
+        received_payload = response.ecc_payload
+        if self.config.emac_enabled:
+            kt, counter = self._channel(decoded.rank)
+            ct = counter.next_read()
+            received_mac = recover_mac(received_payload, kt, ct)
+        else:
+            received_mac = received_payload
+
+        expected_mac = self.compute_mac(address, response.ciphertext)
+        if received_mac != expected_mac:
+            self.violations_detected += 1
+            raise IntegrityViolation(
+                "MAC mismatch on read of address 0x%x (replay or tampering detected)" % address
+            )
+        return self.decrypt_line(address, response.ciphertext)

@@ -1,0 +1,113 @@
+"""Bus-level transaction records for the functional SecDDR model.
+
+These dataclasses are what travels on the (modeled) DDR bus between the
+processor's memory controller and the DIMM.  The attack framework
+(:mod:`repro.attacks`) interposes on exactly these objects: it can record
+them, replay old ones, corrupt the address fields of a write command, drop a
+transaction, or convert a write into a read -- the attack scenarios of
+Sections II-C and III-B.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = [
+    "BusDirection",
+    "WriteCommand",
+    "WriteTransaction",
+    "ReadCommand",
+    "ReadResponse",
+    "IntegrityViolation",
+]
+
+
+class IntegrityViolation(RuntimeError):
+    """Raised by the processor engine when MAC verification fails.
+
+    In hardware this would raise a machine-check / security exception; the
+    functional model raises so that tests can assert an attack was detected.
+    """
+
+
+class BusDirection(enum.Enum):
+    """Direction of a bus transfer."""
+
+    PROCESSOR_TO_MEMORY = "processor_to_memory"
+    MEMORY_TO_PROCESSOR = "memory_to_processor"
+
+
+@dataclass(frozen=True)
+class WriteCommand:
+    """The command/address portion of a write (what the CCCA bus carries)."""
+
+    address: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+    def redirected(self, row: Optional[int] = None, column: Optional[int] = None) -> "WriteCommand":
+        """A copy with corrupted row/column (Figure 3's attack)."""
+        return replace(
+            self,
+            row=self.row if row is None else row,
+            column=self.column if column is None else column,
+        )
+
+
+@dataclass(frozen=True)
+class WriteTransaction:
+    """A full write as observed on the bus.
+
+    ``ciphertext`` is the encrypted cache line on the data pins,
+    ``ecc_payload`` is what the ECC chip receives (the E-MAC under SecDDR, or
+    the plain MAC for the no-RAP baseline), and ``encrypted_ewcrc`` is the
+    CRC burst appended by the extended write burst (``None`` when eWCRC is
+    disabled).
+    """
+
+    command: WriteCommand
+    ciphertext: bytes
+    ecc_payload: bytes
+    encrypted_ewcrc: Optional[bytes] = None
+
+    def with_command(self, command: WriteCommand) -> "WriteTransaction":
+        """The same data burst steered to a different (corrupted) command."""
+        return replace(self, command=command)
+
+    def with_payload(self, ciphertext: bytes, ecc_payload: bytes) -> "WriteTransaction":
+        """A tampered copy of the data/ECC burst (man-in-the-middle)."""
+        return replace(self, ciphertext=ciphertext, ecc_payload=ecc_payload)
+
+
+@dataclass(frozen=True)
+class ReadCommand:
+    """The command/address portion of a read."""
+
+    address: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    """A read response on the bus: encrypted data plus the ECC payload.
+
+    Under SecDDR the ECC payload is the E-MAC; for the no-RAP baseline it is
+    the plain stored MAC, which is what makes the recorded pair replayable.
+    """
+
+    command: ReadCommand
+    ciphertext: bytes
+    ecc_payload: bytes
+
+    def replayed_with(self, old: "ReadResponse") -> "ReadResponse":
+        """Substitute an old (data, MAC/E-MAC) pair for this response."""
+        return replace(self, ciphertext=old.ciphertext, ecc_payload=old.ecc_payload)

@@ -1,0 +1,115 @@
+"""Per-rank transaction counter ``Ct`` (SecDDR Section III).
+
+Both the memory controller and the rank's ECC chip hold a copy of ``Ct``; it
+is never stored in memory and advances on every transaction, which is what
+makes E-MACs temporally unique.  SecDDR additionally restricts reads to even
+counter values and writes to odd ones so that converting a write command into
+a read (or vice versa) desynchronizes the two copies and is caught at the
+next verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CounterParityError", "TransactionCounter"]
+
+
+class CounterParityError(RuntimeError):
+    """Raised when the parity rule is violated (internal consistency check)."""
+
+
+@dataclass
+class TransactionCounter:
+    """A synchronized transaction counter with the even/odd parity rule.
+
+    Advancement rule
+    ----------------
+    The paper states that ``Ct`` increments at every transaction and that
+    reads use only even values while writes use only odd values, but it does
+    not spell out the exact advancement arithmetic.  This implementation uses
+    the minimal rule that makes *all* of the paper's detection claims hold
+    simultaneously:
+
+    * without the parity rule the counter simply increments by one per
+      transaction (so a dropped transaction desynchronizes the two copies,
+      but a write-to-read command conversion does not -- exactly the gap the
+      paper points out);
+    * with the parity rule the counter keeps an even internal state ``s``; a
+      read consumes the even value ``s + 2`` and advances ``s`` by 2, a write
+      consumes the odd value ``s + 3`` and advances ``s`` by 4.  Values are
+      strictly increasing and never reused, reads are always even, writes
+      always odd, and both a dropped write *and* a converted command leave
+      the two copies at permanently different states.
+
+    Parameters
+    ----------
+    initial_value:
+        Starting value agreed at attestation time (shared in plain text; a
+        tampered initial value only causes verification failures).
+    counter_bits:
+        Counter width; the value wraps modulo ``2**counter_bits``.
+    parity_rule:
+        Enforce even-for-reads / odd-for-writes.
+    """
+
+    initial_value: int = 0
+    counter_bits: int = 64
+    parity_rule: bool = True
+
+    def __post_init__(self) -> None:
+        initial = self.initial_value % (1 << self.counter_bits)
+        if self.parity_rule and initial % 2 == 1:
+            # The internal state is kept even under the parity rule.
+            initial -= 1
+        self._value = initial
+        self.transactions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Current counter state (advances with every transaction)."""
+        return self._value
+
+    @property
+    def modulus(self) -> int:
+        return 1 << self.counter_bits
+
+    # ------------------------------------------------------------------
+    def next_read(self) -> int:
+        """Counter value for the next read transaction (even under the rule)."""
+        self.transactions += 1
+        if not self.parity_rule:
+            self._value = (self._value + 1) % self.modulus
+            return self._value
+        value = (self._value + 2) % self.modulus
+        self._value = value
+        if value % 2 != 0:
+            raise CounterParityError("read counter %d is not even" % value)
+        return value
+
+    def next_write(self) -> int:
+        """Counter value for the next write transaction (odd under the rule)."""
+        self.transactions += 1
+        if not self.parity_rule:
+            self._value = (self._value + 1) % self.modulus
+            return self._value
+        value = (self._value + 3) % self.modulus
+        self._value = (self._value + 4) % self.modulus
+        if value % 2 != 1:
+            raise CounterParityError("write counter %d is not odd" % value)
+        return value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """State capture used by the DIMM-substitution attack model."""
+        return {"value": self._value, "transactions": self.transactions}
+
+    def restore(self, state: dict) -> None:
+        """Restore a previously captured state (adversarial or test use)."""
+        self._value = state["value"] % self.modulus
+        self.transactions = state["transactions"]
+
+    def in_sync_with(self, other: "TransactionCounter") -> bool:
+        """Whether two counter copies currently agree."""
+        return self._value == other._value

@@ -1,0 +1,64 @@
+"""Cryptographic substrate for the SecDDR reproduction.
+
+This package provides bit-accurate, pure-Python implementations of every
+cryptographic primitive the SecDDR design relies on:
+
+* :mod:`repro.crypto.aes` -- the AES-128 block cipher (FIPS-197).
+* :mod:`repro.crypto.modes` -- counter (CTR) mode, XEX/XTS mode, and the
+  one-time-pad (OTP) construction SecDDR uses to encrypt MACs on the bus.
+* :mod:`repro.crypto.mac` -- CMAC and HMAC-style message authentication codes
+  used for per-cache-line MACs and per-transaction MACs.
+* :mod:`repro.crypto.crc` -- CRC-16 write CRC (WCRC) and the extended write
+  CRC (eWCRC) of All-Inclusive ECC, which SecDDR encrypts.
+* :mod:`repro.crypto.keyexchange` -- the authenticated key-exchange and
+  endorsement-key / certificate model used for DIMM attestation.
+
+The simulator's *timing* models never call into this package on the hot path;
+they use configured latencies.  The *functional* SecDDR model
+(:mod:`repro.core`) and the attack framework (:mod:`repro.attacks`) operate on
+real bytes using these primitives so that the security arguments in the paper
+(Section III) can be demonstrated, not merely asserted.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.modes import (
+    aes_ctr_keystream,
+    ctr_encrypt,
+    ctr_decrypt,
+    xts_encrypt,
+    xts_decrypt,
+    one_time_pad,
+    xor_bytes,
+)
+from repro.crypto.mac import cmac_aes128, hmac_sha256, truncated_mac, line_mac
+from repro.crypto.crc import crc16, wcrc, ewcrc
+from repro.crypto.keyexchange import (
+    EndorsementKeyPair,
+    Certificate,
+    CertificateAuthority,
+    KeyExchangeParticipant,
+    authenticated_key_exchange,
+)
+
+__all__ = [
+    "AES128",
+    "aes_ctr_keystream",
+    "ctr_encrypt",
+    "ctr_decrypt",
+    "xts_encrypt",
+    "xts_decrypt",
+    "one_time_pad",
+    "xor_bytes",
+    "cmac_aes128",
+    "hmac_sha256",
+    "truncated_mac",
+    "line_mac",
+    "crc16",
+    "wcrc",
+    "ewcrc",
+    "EndorsementKeyPair",
+    "Certificate",
+    "CertificateAuthority",
+    "KeyExchangeParticipant",
+    "authenticated_key_exchange",
+]

@@ -1,0 +1,240 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+The SecDDR paper assumes dedicated AES engines on the processor and in the
+ECC chip(s) for generating one-time pads (OTPs) and MACs.  This module
+provides a bit-accurate software implementation so the functional model can
+produce and verify real E-MACs, OTPs, and XTS ciphertexts.
+
+Performance note: this implementation favours clarity over speed.  It is used
+only by the functional security model and the attack framework, never on the
+timing-simulation hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["AES128"]
+
+# The AES S-box (FIPS-197, Figure 7).
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+# Inverse S-box (computed from _SBOX, stored explicitly for clarity).
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+# Round constants for key expansion.
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) with the AES reduction polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a 128-bit key, operating on 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        A 16-byte key.  The key schedule is expanded eagerly at construction
+        time so that repeated block operations are as cheap as possible.
+
+    Examples
+    --------
+    >>> cipher = AES128(bytes(16))
+    >>> ct = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(ct) == bytes(16)
+    True
+    """
+
+    BLOCK_SIZE = 16
+    KEY_SIZE = 16
+    NUM_ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.KEY_SIZE:
+            raise ValueError(
+                "AES128 requires a 16-byte key, got %d bytes" % len(key)
+            )
+        self._key = bytes(key)
+        self._round_keys = self._expand_key(self._key)
+
+    @property
+    def key(self) -> bytes:
+        """The raw 16-byte key this cipher was constructed with."""
+        return self._key
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Expand the key into 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES128.NUM_ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                # RotWord followed by SubWord and Rcon.
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(AES128.NUM_ROUNDS + 1):
+            rk: List[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # ------------------------------------------------------------------
+    # Round transformations (operating on a 16-element state list,
+    # column-major as in FIPS-197).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # State is column-major: state[r + 4*c].
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = (
+                _gf_mul(col[0], 2) ^ _gf_mul(col[1], 3) ^ col[2] ^ col[3]
+            )
+            state[4 * c + 1] = (
+                col[0] ^ _gf_mul(col[1], 2) ^ _gf_mul(col[2], 3) ^ col[3]
+            )
+            state[4 * c + 2] = (
+                col[0] ^ col[1] ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3)
+            )
+            state[4 * c + 3] = (
+                _gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ _gf_mul(col[3], 2)
+            )
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = (
+                _gf_mul(col[0], 14) ^ _gf_mul(col[1], 11)
+                ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9)
+            )
+            state[4 * c + 1] = (
+                _gf_mul(col[0], 9) ^ _gf_mul(col[1], 14)
+                ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13)
+            )
+            state[4 * c + 2] = (
+                _gf_mul(col[0], 13) ^ _gf_mul(col[1], 9)
+                ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11)
+            )
+            state[4 * c + 3] = (
+                _gf_mul(col[0], 11) ^ _gf_mul(col[1], 13)
+                ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14)
+            )
+
+    # ------------------------------------------------------------------
+    # Public block API
+    # ------------------------------------------------------------------
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(plaintext) != self.BLOCK_SIZE:
+            raise ValueError("plaintext block must be 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.NUM_ROUNDS):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.NUM_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(ciphertext) != self.BLOCK_SIZE:
+            raise ValueError("ciphertext block must be 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_keys[self.NUM_ROUNDS])
+        for rnd in range(self.NUM_ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "AES128(key=%s...)" % self._key[:4].hex()

@@ -1,0 +1,50 @@
+"""DDR DRAM and DIMM substrate.
+
+This package models the memory-system components the SecDDR evaluation
+depends on, at the granularity the paper's conclusions require:
+
+* :mod:`repro.dram.timing` -- DDR4/DDR5 timing parameter sets (the paper's
+  Table I DDR4-3200 configuration plus a DDR5 set and the derated 2400 MT/s
+  set used for the "realistic InvisiMem" comparison).
+* :mod:`repro.dram.commands` -- the DRAM command vocabulary (ACT, PRE, RD,
+  WR, REF) and the memory-request record used throughout the simulator.
+* :mod:`repro.dram.address_mapping` -- physical-address to
+  channel/rank/bank-group/bank/row/column decomposition.
+* :mod:`repro.dram.bank` / :mod:`repro.dram.rank` /
+  :mod:`repro.dram.channel` -- bank-state machines with row-buffer tracking
+  and the rank/channel-level timing constraints (tCCD_S/L, tWTR, tFAW,
+  read/write bus turnaround, burst length occupancy).
+* :mod:`repro.dram.dimm` -- the module topology: data chips, ECC chip(s),
+  RCD, data buffers, and where SecDDR's security logic lives.
+* :mod:`repro.dram.storage` -- a byte-accurate backing store used by the
+  functional security model.
+"""
+
+from repro.dram.timing import DDRTimingParameters, DDR4_3200, DDR4_2400, DDR5_4800
+from repro.dram.commands import CommandType, DramCommand, MemoryRequest, RequestType
+from repro.dram.address_mapping import AddressMapping, DecodedAddress
+from repro.dram.bank import Bank
+from repro.dram.rank import Rank
+from repro.dram.channel import Channel
+from repro.dram.dimm import DimmTopology, DimmChip, ChipRole
+from repro.dram.storage import DramStorage
+
+__all__ = [
+    "DDRTimingParameters",
+    "DDR4_3200",
+    "DDR4_2400",
+    "DDR5_4800",
+    "CommandType",
+    "DramCommand",
+    "MemoryRequest",
+    "RequestType",
+    "AddressMapping",
+    "DecodedAddress",
+    "Bank",
+    "Rank",
+    "Channel",
+    "DimmTopology",
+    "DimmChip",
+    "ChipRole",
+    "DramStorage",
+]

@@ -1,0 +1,214 @@
+"""DIMM topology: data chips, ECC chips, RCD and data buffers.
+
+SecDDR's trusted-computing-base argument (Section III-E, Figures 5/9/11)
+revolves around *where* components sit on the module:
+
+* An RDIMM/LRDIMM has a centralized RCD chip buffering command/control/clock/
+  address (CCCA) and, on LRDIMMs, distributed data buffers (DBs) in front of
+  each DRAM chip.
+* A rank is built from 8 x8 data chips plus 1 x8 ECC chip (or 16+2 x4 chips).
+* SecDDR for *untrusted* DIMMs places the security logic (Kt register,
+  transaction counter, AES units) on the DRAM die of the ECC chip(s); for
+  *trusted* DIMMs it can live in the ECC data buffer instead.
+
+This module captures that topology so the TCB can be enumerated, the attack
+surface (on-DIMM interconnects vs. in-package logic) can be reasoned about in
+tests, and the per-chip data/CRC burst layout used by eWCRC can be computed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["ChipRole", "DimmChip", "DimmTopology", "chip_data_slices"]
+
+
+class ChipRole(enum.Enum):
+    """Role of a component on the DIMM."""
+
+    DATA_CHIP = "data_chip"
+    ECC_CHIP = "ecc_chip"
+    RCD = "rcd"
+    DATA_BUFFER = "data_buffer"
+    ECC_DATA_BUFFER = "ecc_data_buffer"
+
+
+@dataclass
+class DimmChip:
+    """One discrete component on the module."""
+
+    role: ChipRole
+    rank: int
+    index: int
+    device_width: int = 8
+    has_security_logic: bool = False
+    in_tcb: bool = False
+
+    @property
+    def name(self) -> str:
+        return "%s[r%d.%d]" % (self.role.value, self.rank, self.index)
+
+
+@dataclass
+class DimmTopology:
+    """A DDR4/DDR5 registered or load-reduced DIMM.
+
+    Parameters
+    ----------
+    ranks:
+        Number of ranks on the module.
+    device_width:
+        DRAM device width in bits (4 or 8); determines chips per rank.
+    load_reduced:
+        True for LRDIMMs (adds distributed data buffers).
+    trusted_module:
+        Paper Section VI-C: when True, the whole module is assumed trusted
+        and the security logic can sit in the ECC data buffer; when False
+        (SecDDR's default threat model) only the ECC chip package is trusted
+        and the logic must live on the ECC DRAM die.
+    secddr_enabled:
+        Whether SecDDR security logic is provisioned at all.
+    """
+
+    ranks: int = 2
+    device_width: int = 8
+    load_reduced: bool = True
+    trusted_module: bool = False
+    secddr_enabled: bool = True
+    chips: List[DimmChip] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.device_width not in (4, 8):
+            raise ValueError("device_width must be 4 or 8")
+        if not self.chips:
+            self.chips = self._build_chips()
+
+    # ------------------------------------------------------------------
+    @property
+    def data_chips_per_rank(self) -> int:
+        """Data chips needed for a 64-bit data bus."""
+        return 64 // self.device_width
+
+    @property
+    def ecc_chips_per_rank(self) -> int:
+        """ECC chips needed for the 8-bit ECC portion of the bus."""
+        return 8 // self.device_width
+
+    def _build_chips(self) -> List[DimmChip]:
+        chips: List[DimmChip] = []
+        security_in_ecc_die = self.secddr_enabled and not self.trusted_module
+        security_in_ecc_db = self.secddr_enabled and self.trusted_module
+
+        # One centralized RCD serves the whole module.
+        chips.append(
+            DimmChip(
+                role=ChipRole.RCD,
+                rank=0,
+                index=0,
+                device_width=0,
+                in_tcb=self.trusted_module,
+            )
+        )
+        for rank in range(self.ranks):
+            for i in range(self.data_chips_per_rank):
+                chips.append(
+                    DimmChip(
+                        role=ChipRole.DATA_CHIP,
+                        rank=rank,
+                        index=i,
+                        device_width=self.device_width,
+                        in_tcb=self.trusted_module,
+                    )
+                )
+            for i in range(self.ecc_chips_per_rank):
+                chips.append(
+                    DimmChip(
+                        role=ChipRole.ECC_CHIP,
+                        rank=rank,
+                        index=i,
+                        device_width=self.device_width,
+                        has_security_logic=security_in_ecc_die,
+                        # The ECC chip package is always in SecDDR's TCB for
+                        # untrusted DIMMs; for trusted DIMMs the whole module
+                        # is in the TCB anyway.
+                        in_tcb=self.secddr_enabled or self.trusted_module,
+                    )
+                )
+            if self.load_reduced:
+                for i in range(self.data_chips_per_rank):
+                    chips.append(
+                        DimmChip(
+                            role=ChipRole.DATA_BUFFER,
+                            rank=rank,
+                            index=i,
+                            device_width=self.device_width,
+                            in_tcb=self.trusted_module,
+                        )
+                    )
+                for i in range(self.ecc_chips_per_rank):
+                    chips.append(
+                        DimmChip(
+                            role=ChipRole.ECC_DATA_BUFFER,
+                            rank=rank,
+                            index=i,
+                            device_width=self.device_width,
+                            has_security_logic=security_in_ecc_db,
+                            in_tcb=self.trusted_module or security_in_ecc_db,
+                        )
+                    )
+        return chips
+
+    # ------------------------------------------------------------------
+    def chips_with_role(self, role: ChipRole, rank: int | None = None) -> List[DimmChip]:
+        """All chips with ``role`` (optionally restricted to one rank)."""
+        return [
+            c
+            for c in self.chips
+            if c.role is role and (rank is None or c.rank == rank)
+        ]
+
+    def security_logic_chips(self) -> List[DimmChip]:
+        """The components that carry SecDDR's on-DIMM security logic."""
+        return [c for c in self.chips if c.has_security_logic]
+
+    def tcb_chips(self) -> List[DimmChip]:
+        """All on-DIMM components inside the trusted computing base."""
+        return [c for c in self.chips if c.in_tcb]
+
+    def tcb_fraction(self) -> float:
+        """Fraction of on-DIMM components that must be trusted.
+
+        The paper's argument is that SecDDR for untrusted DIMMs keeps this
+        small (only the ECC chips), while any InvisiMem-style adaptation must
+        trust the entire module.
+        """
+        return len(self.tcb_chips()) / len(self.chips)
+
+    # ------------------------------------------------------------------
+    def write_burst_beats(self, ewcrc_enabled: bool, ddr5: bool = False) -> int:
+        """Write burst length in beats, with or without eWCRC.
+
+        DDR4: BL8 normally, BL10 with write CRC.  DDR5: BL16 -> BL18.
+        """
+        base = 16 if ddr5 else 8
+        extra = 2 if ewcrc_enabled else 0
+        return base + extra
+
+
+def chip_data_slices(line_data: bytes, device_width: int = 8) -> List[bytes]:
+    """Split a 64-byte cache line into the per-chip byte slices.
+
+    With x8 devices, each of the 8 data chips stores every 8th byte group of
+    the burst; for the functional eWCRC model the exact interleaving is not
+    important, only that each chip sees a deterministic slice, so a simple
+    striping is used.
+    """
+    if len(line_data) != 64:
+        raise ValueError("expected a 64-byte cache line")
+    chips = 64 // device_width
+    bytes_per_chip = len(line_data) // chips
+    return [
+        line_data[i * bytes_per_chip : (i + 1) * bytes_per_chip] for i in range(chips)
+    ]

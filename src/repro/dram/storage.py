@@ -1,0 +1,98 @@
+"""Byte-accurate DRAM backing store for the functional security model.
+
+The timing simulator never needs real data; the functional SecDDR model and
+the attack framework do.  :class:`DramStorage` stores (data, ECC/MAC) tuples
+per cache line and exposes exactly the operations an adversary can influence:
+writes can land at the wrong (row, column) coordinates, lines can be captured
+and replayed, and a whole rank image can be snapshotted/restored to model a
+DIMM-substitution (cold-boot) attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["StoredLine", "DramStorage"]
+
+LINE_BYTES = 64
+#: ECC-chip payload per line: 8-byte MAC (SecDDR stores the plain-text MAC at
+#: rest) plus room for ECC bits, which this model does not simulate.
+ECC_PAYLOAD_BYTES = 8
+
+
+@dataclass
+class StoredLine:
+    """One cache line at rest in DRAM: data plus the ECC-chip payload."""
+
+    data: bytes = bytes(LINE_BYTES)
+    ecc_payload: bytes = bytes(ECC_PAYLOAD_BYTES)
+
+    def copy(self) -> "StoredLine":
+        return StoredLine(data=self.data, ecc_payload=self.ecc_payload)
+
+
+class DramStorage:
+    """Sparse, byte-accurate storage for the functional model.
+
+    Lines are keyed by line-aligned physical address.  Unwritten lines read
+    as zeros with a zero ECC payload, matching the paper's requirement that
+    memory be actively cleared (written with zeros) at initialization.
+    """
+
+    def __init__(self, capacity_bytes: int = 16 * 2**30, line_bytes: int = LINE_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self._lines: Dict[int, StoredLine] = {}
+
+    # ------------------------------------------------------------------
+    def _check_address(self, address: int) -> int:
+        if address < 0 or address >= self.capacity_bytes:
+            raise ValueError("address 0x%x out of range" % address)
+        if address % self.line_bytes != 0:
+            raise ValueError("address 0x%x is not line-aligned" % address)
+        return address
+
+    def read_line(self, address: int) -> StoredLine:
+        """Read the (data, ECC payload) tuple at ``address``."""
+        self._check_address(address)
+        line = self._lines.get(address)
+        return line.copy() if line is not None else StoredLine()
+
+    def write_line(self, address: int, data: bytes, ecc_payload: bytes) -> None:
+        """Write a (data, ECC payload) tuple at ``address``."""
+        self._check_address(address)
+        if len(data) != self.line_bytes:
+            raise ValueError("data must be %d bytes" % self.line_bytes)
+        if len(ecc_payload) != ECC_PAYLOAD_BYTES:
+            raise ValueError("ECC payload must be %d bytes" % ECC_PAYLOAD_BYTES)
+        self._lines[address] = StoredLine(data=bytes(data), ecc_payload=bytes(ecc_payload))
+
+    def clear(self) -> None:
+        """Actively clear memory (the paper's initialization step)."""
+        self._lines.clear()
+
+    # ------------------------------------------------------------------
+    # Hooks for the attack framework
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[int, StoredLine]:
+        """Capture the full memory image (DIMM-substitution attack step 1)."""
+        return {addr: line.copy() for addr, line in self._lines.items()}
+
+    def restore(self, image: Dict[int, StoredLine]) -> None:
+        """Replace the memory contents with a previously captured image."""
+        self._lines = {addr: line.copy() for addr, line in image.items()}
+
+    def corrupt_line(self, address: int, bit_flips: int = 1) -> None:
+        """Flip ``bit_flips`` bits of the stored data (row-hammer style)."""
+        self._check_address(address)
+        line = self.read_line(address)
+        data = bytearray(line.data)
+        for i in range(bit_flips):
+            byte_index = (i * 7) % len(data)
+            data[byte_index] ^= 1 << (i % 8)
+        self._lines[address] = StoredLine(data=bytes(data), ecc_payload=line.ecc_payload)
+
+    def occupied_lines(self) -> int:
+        """Number of lines that have been written at least once."""
+        return len(self._lines)

@@ -1,0 +1,221 @@
+"""DDR timing parameter sets.
+
+The SecDDR evaluation uses DDR4-3200 with the timing values listed in the
+paper's Table I (tCL/tCCDS/tCCDL/tCWL/tWTRS/tWTRL/tRP/tRCD/tRAS =
+22/4/10/16/4/12/22/22/56 cycles at 1600 MHz).  The InvisiMem "realistic"
+configuration derates the channel to 2400 MT/s (1200 MHz) to account for the
+centralized data buffer; the paper also refers to DDR5 for the eWCRC burst
+discussion, so a representative DDR5-4800 parameter set is included.
+
+All values are in memory-controller clock cycles of the given frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DDRTimingParameters",
+    "DDR4_3200",
+    "DDR4_2400",
+    "DDR5_4800",
+    "derate_frequency",
+]
+
+
+@dataclass(frozen=True)
+class DDRTimingParameters:
+    """A named set of DDR timing parameters (all in DRAM clock cycles).
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"DDR4-3200"``.
+    freq_mhz:
+        DRAM clock frequency in MHz (data rate is 2x this for DDR).
+    tCL:
+        CAS latency (read command to first data beat).
+    tRCD:
+        Activate to read/write delay.
+    tRP:
+        Precharge latency.
+    tRAS:
+        Activate to precharge minimum.
+    tCWL:
+        CAS write latency.
+    tCCD_S / tCCD_L:
+        Column-to-column delay to a different / same bank group.
+    tWTR_S / tWTR_L:
+        Write-to-read turnaround to a different / same bank group.
+    tRTP:
+        Read to precharge.
+    tWR:
+        Write recovery time.
+    tRRD_S / tRRD_L:
+        Activate-to-activate, different / same bank group.
+    tFAW:
+        Four-activate window.
+    tRFC:
+        Refresh cycle time.
+    tREFI:
+        Refresh interval.
+    burst_cycles_read:
+        Data-bus cycles occupied by a read burst (BL8 on a x64 bus = 4).
+    burst_cycles_write:
+        Data-bus cycles occupied by a write burst.  SecDDR's eWCRC raises
+        the DDR4 write burst from 8 to 10 beats (4 -> 5 cycles); DDR5 from
+        16 to 18 beats.
+    """
+
+    name: str
+    freq_mhz: float
+    tCL: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    tCWL: int
+    tCCD_S: int
+    tCCD_L: int
+    tWTR_S: int
+    tWTR_L: int
+    tRTP: int
+    tWR: int
+    tRRD_S: int
+    tRRD_L: int
+    tFAW: int
+    tRFC: int
+    tREFI: int
+    burst_cycles_read: int
+    burst_cycles_write: int
+
+    @property
+    def data_rate_mtps(self) -> float:
+        """Transfer rate in MT/s (double data rate)."""
+        return 2.0 * self.freq_mhz
+
+    @property
+    def tRC(self) -> int:
+        """Row cycle time (tRAS + tRP)."""
+        return self.tRAS + self.tRP
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert DRAM cycles into nanoseconds."""
+        return cycles * 1000.0 / self.freq_mhz
+
+    def ns_to_cycles(self, nanoseconds: float) -> float:
+        """Convert nanoseconds into DRAM cycles."""
+        return nanoseconds * self.freq_mhz / 1000.0
+
+    def with_write_burst_beats(self, beats: int, beats_per_cycle: int = 2) -> "DDRTimingParameters":
+        """Return a copy whose write burst occupies ``beats`` beats.
+
+        SecDDR enables eWCRC by extending the write burst (8 -> 10 for DDR4,
+        16 -> 18 for DDR5); the extra beats occupy the data bus for one more
+        DRAM clock per write.
+        """
+        cycles = (beats + beats_per_cycle - 1) // beats_per_cycle
+        return replace(self, burst_cycles_write=cycles)
+
+
+#: Table I configuration: DDR4-3200 at 1600 MHz.
+DDR4_3200 = DDRTimingParameters(
+    name="DDR4-3200",
+    freq_mhz=1600.0,
+    tCL=22,
+    tRCD=22,
+    tRP=22,
+    tRAS=56,
+    tCWL=16,
+    tCCD_S=4,
+    tCCD_L=10,
+    tWTR_S=4,
+    tWTR_L=12,
+    tRTP=12,
+    tWR=24,
+    tRRD_S=4,
+    tRRD_L=8,
+    tFAW=34,
+    tRFC=560,
+    tREFI=12480,
+    burst_cycles_read=4,
+    burst_cycles_write=4,
+)
+
+#: Derated channel used for the "realistic InvisiMem" comparison (2400 MT/s at
+#: 1200 MHz).  Latency parameters in nanoseconds stay roughly constant, so the
+#: cycle counts scale with frequency (3/4 of the DDR4-3200 values).
+DDR4_2400 = DDRTimingParameters(
+    name="DDR4-2400",
+    freq_mhz=1200.0,
+    tCL=17,
+    tRCD=17,
+    tRP=17,
+    tRAS=42,
+    tCWL=12,
+    tCCD_S=4,
+    tCCD_L=8,
+    tWTR_S=3,
+    tWTR_L=9,
+    tRTP=9,
+    tWR=18,
+    tRRD_S=4,
+    tRRD_L=6,
+    tFAW=26,
+    tRFC=420,
+    tREFI=9360,
+    burst_cycles_read=4,
+    burst_cycles_write=4,
+)
+
+#: Representative DDR5 device (BL16; write CRC raises the burst to 18 beats).
+DDR5_4800 = DDRTimingParameters(
+    name="DDR5-4800",
+    freq_mhz=2400.0,
+    tCL=34,
+    tRCD=34,
+    tRP=34,
+    tRAS=76,
+    tCWL=30,
+    tCCD_S=8,
+    tCCD_L=16,
+    tWTR_S=8,
+    tWTR_L=20,
+    tRTP=18,
+    tWR=36,
+    tRRD_S=8,
+    tRRD_L=12,
+    tFAW=40,
+    tRFC=984,
+    tREFI=18720,
+    burst_cycles_read=8,
+    burst_cycles_write=8,
+)
+
+
+def derate_frequency(params: DDRTimingParameters, new_freq_mhz: float) -> DDRTimingParameters:
+    """Scale a timing set to a lower channel frequency.
+
+    Used to model InvisiMem's centralized-buffer frequency penalty: the
+    physical latencies (in nanoseconds) stay the same, so the *cycle counts*
+    shrink with the frequency while the wall-clock latencies do not improve.
+    """
+    if new_freq_mhz <= 0:
+        raise ValueError("frequency must be positive")
+    ratio = new_freq_mhz / params.freq_mhz
+    scaled = {
+        field: max(1, round(getattr(params, field) * ratio))
+        for field in (
+            "tCL", "tRCD", "tRP", "tRAS", "tCWL", "tCCD_L", "tWTR_L",
+            "tRTP", "tWR", "tRRD_L", "tFAW", "tRFC", "tREFI",
+        )
+    }
+    return DDRTimingParameters(
+        name="%s@%dMHz" % (params.name, int(new_freq_mhz)),
+        freq_mhz=new_freq_mhz,
+        tCCD_S=params.tCCD_S,
+        tWTR_S=params.tWTR_S,
+        tRRD_S=params.tRRD_S,
+        burst_cycles_read=params.burst_cycles_read,
+        burst_cycles_write=params.burst_cycles_write,
+        **scaled,
+    )

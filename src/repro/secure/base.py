@@ -1,0 +1,264 @@
+"""Common machinery for all secure-memory timing models.
+
+Every configuration in the paper's evaluation -- the TDX-like baseline, the
+integrity trees, SecDDR, InvisiMem and the encrypt-only upper bounds -- is a
+:class:`SecureMemorySystem`: a wrapper around the memory controller that
+expands each demand access into (possibly zero) security-metadata accesses,
+filters them through the shared metadata cache, and reports the extra
+processor-side cryptographic latency on the critical path.
+
+The CPU model only sees the final ``(completion_cycle, extra_cpu_cycles)``
+pair, which is exactly the interface difference between the evaluated
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.metadata_cache import MetadataCache
+from repro.controller.memory_controller import MemoryController
+from repro.dram.commands import MemoryRequest, MetadataKind, RequestType
+
+__all__ = ["MetadataLayout", "AccessBreakdown", "SecureMemorySystem"]
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MetadataLayout:
+    """Where security metadata lives in the physical address space.
+
+    Demand data occupies the low part of the address space (each core's
+    replicated trace sits in its own 4 GB window).  Metadata regions are
+    placed far above so they never collide with data lines; the DRAM address
+    mapping spreads them over banks just like data.
+    """
+
+    line_bytes: int = LINE_BYTES
+    counter_region_base: int = 1 << 40
+    tree_region_base: int = 1 << 41
+    mac_region_base: int = 1 << 42
+
+    def counter_line_address(self, data_address: int, counters_per_line: int) -> int:
+        """Address of the encryption-counter line covering ``data_address``."""
+        data_line = data_address // self.line_bytes
+        counter_line = data_line // counters_per_line
+        return self.counter_region_base + counter_line * self.line_bytes
+
+    def mac_line_address(self, data_address: int, macs_per_line: int = 8) -> int:
+        """Address of the in-memory MAC line covering ``data_address``.
+
+        Only used by designs that do *not* keep MACs in the ECC chips (the
+        8-ary hash-tree configuration of Figure 8).
+        """
+        data_line = data_address // self.line_bytes
+        mac_line = data_line // macs_per_line
+        return self.mac_region_base + mac_line * self.line_bytes
+
+
+@dataclass
+class AccessBreakdown:
+    """Accounting for one demand access (useful for tests and debugging)."""
+
+    data_completion: float
+    metadata_completion: float
+    extra_cpu_cycles: float
+    metadata_lines_touched: int = 0
+    metadata_misses: int = 0
+
+    @property
+    def completion(self) -> float:
+        return max(self.data_completion, self.metadata_completion)
+
+
+@dataclass
+class SecureMemoryStats:
+    """Aggregate statistics every secure-memory system reports."""
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    metadata_reads: int = 0
+    metadata_writebacks: int = 0
+    metadata_accesses: int = 0
+    metadata_hits: int = 0
+
+    @property
+    def metadata_miss_rate(self) -> float:
+        if self.metadata_accesses == 0:
+            return 0.0
+        return 1.0 - self.metadata_hits / self.metadata_accesses
+
+
+class SecureMemorySystem:
+    """Base class: no integrity metadata, no encryption latency.
+
+    Subclasses override :meth:`_expand_read` and :meth:`_expand_write` to add
+    their metadata traffic and critical-path latencies, using the
+    :meth:`_metadata_access` helper so that all configurations share the same
+    metadata-cache and writeback behaviour.
+    """
+
+    name = "unprotected"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        metadata_cache: Optional[MetadataCache] = None,
+        layout: Optional[MetadataLayout] = None,
+        crypto_latency_cpu_cycles: int = 40,
+    ) -> None:
+        self.controller = controller
+        self.metadata_cache = metadata_cache or MetadataCache()
+        self.layout = layout or MetadataLayout()
+        self.crypto_latency_cpu_cycles = crypto_latency_cpu_cycles
+        self.stats = SecureMemoryStats()
+        self._total_instructions_hint = 0
+
+    # ------------------------------------------------------------------
+    # Demand-access entry points (the CPU-facing interface)
+    # ------------------------------------------------------------------
+    def read(self, address: int, dram_cycle: float) -> Tuple[float, float]:
+        """Serve a demand read; returns (completion DRAM cycle, extra CPU cycles)."""
+        self.stats.demand_reads += 1
+        breakdown = self.access_breakdown(address, dram_cycle, is_write=False)
+        return breakdown.completion, breakdown.extra_cpu_cycles
+
+    def write(self, address: int, dram_cycle: float) -> None:
+        """Accept a posted demand write (LLC writeback)."""
+        self.stats.demand_writes += 1
+        cycle = int(dram_cycle)
+        self._expand_write(address, cycle)
+        self.controller.enqueue_write(
+            MemoryRequest(
+                address=address,
+                request_type=RequestType.WRITE,
+                arrival_cycle=cycle,
+                metadata_kind=MetadataKind.DATA,
+            )
+        )
+
+    def access_breakdown(self, address: int, dram_cycle: float, is_write: bool = False) -> AccessBreakdown:
+        """Full accounting of a read (used by tests and the read path)."""
+        cycle = int(dram_cycle)
+        metadata_completion, extra_cpu, touched, missed = self._expand_read(address, cycle)
+        data_completion = self.controller.service_read(
+            MemoryRequest(
+                address=address,
+                request_type=RequestType.READ,
+                arrival_cycle=cycle,
+                metadata_kind=MetadataKind.DATA,
+            )
+        )
+        return AccessBreakdown(
+            data_completion=data_completion,
+            metadata_completion=metadata_completion,
+            extra_cpu_cycles=extra_cpu,
+            metadata_lines_touched=touched,
+            metadata_misses=missed,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _expand_read(self, address: int, cycle: int) -> Tuple[float, float, int, int]:
+        """Metadata work for a demand read.
+
+        Returns ``(metadata_completion_cycle, extra_cpu_cycles,
+        metadata_lines_touched, metadata_misses)``.  The base class has no
+        metadata and no crypto latency.
+        """
+        return cycle, 0.0, 0, 0
+
+    def _expand_write(self, address: int, cycle: int) -> None:
+        """Metadata work for a demand write (default: none)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _metadata_access(
+        self,
+        metadata_address: int,
+        cycle: int,
+        dirty: bool,
+        kind: MetadataKind,
+    ) -> Tuple[bool, float]:
+        """Access one metadata line through the metadata cache.
+
+        On a metadata-cache miss the line is fetched from DRAM (the returned
+        completion reflects it); a dirty victim evicted by the fill becomes a
+        posted DRAM write.  Returns ``(hit, completion_cycle)``.
+        """
+        self.stats.metadata_accesses += 1
+        result = self.metadata_cache.access(metadata_address, is_write=dirty)
+        completion: float = cycle
+        if result.hit:
+            self.stats.metadata_hits += 1
+        else:
+            self.stats.metadata_reads += 1
+            completion = self.controller.service_read(
+                MemoryRequest(
+                    address=metadata_address,
+                    request_type=RequestType.READ,
+                    arrival_cycle=cycle,
+                    metadata_kind=kind,
+                )
+            )
+        if result.writeback_address is not None:
+            self.stats.metadata_writebacks += 1
+            self.controller.enqueue_write(
+                MemoryRequest(
+                    address=result.writeback_address,
+                    request_type=RequestType.WRITE,
+                    arrival_cycle=cycle,
+                    metadata_kind=kind,
+                )
+            )
+        return result.hit, completion
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def note_instructions(self, instructions: int) -> None:
+        """Record the instruction count (for per-kilo-instruction metrics)."""
+        self._total_instructions_hint = instructions
+
+    def collect_stats(self) -> Dict[str, float]:
+        """Flat statistics dictionary merged into the system result."""
+        controller = self.controller.stats
+        cache = self.metadata_cache.stats
+        stats: Dict[str, float] = {
+            "config": 0.0,  # placeholder so keys stay numeric-friendly
+            "demand_reads": float(self.stats.demand_reads),
+            "demand_writes": float(self.stats.demand_writes),
+            "metadata_reads": float(self.stats.metadata_reads),
+            "metadata_writebacks": float(self.stats.metadata_writebacks),
+            "metadata_accesses": float(self.stats.metadata_accesses),
+            "metadata_hits": float(self.stats.metadata_hits),
+            "metadata_miss_rate": self.stats.metadata_miss_rate,
+            "metadata_cache_hit_rate": cache.hit_rate,
+            "controller_reads": float(controller.reads_served),
+            "controller_writes": float(controller.writes_served),
+            "controller_avg_read_latency": controller.average_read_latency,
+            "forwarded_reads": float(controller.forwarded_reads),
+        }
+        if self._total_instructions_hint:
+            per_kilo = 1000.0 / self._total_instructions_hint
+            misses = self.stats.metadata_accesses - self.stats.metadata_hits
+            stats["metadata_mpki"] = misses * per_kilo
+        return stats
+
+    def finish(self) -> None:
+        """Flush buffered state at the end of a simulation."""
+        for address in self.metadata_cache.flush():
+            self.controller.enqueue_write(
+                MemoryRequest(
+                    address=address,
+                    request_type=RequestType.WRITE,
+                    arrival_cycle=self.controller.current_cycle,
+                    metadata_kind=MetadataKind.TREE_NODE,
+                )
+            )
+        self.controller.flush()

@@ -1,0 +1,363 @@
+"""Named secure-memory configurations used throughout the evaluation.
+
+Each entry corresponds to one bar/series in the paper's figures:
+
+=========================  ==========================================================
+Name                       Meaning
+=========================  ==========================================================
+``tdx_baseline``           Normalization baseline: AES-XTS + MAC-in-ECC, no RAP.
+``integrity_tree_64``      64-ary counter tree over counter-mode encryption (Fig. 6).
+``integrity_tree_128``     128-ary (Morphable-style) counter tree (Fig. 8).
+``integrity_tree_8_hash``  8-ary hash Merkle tree over in-memory MACs (Fig. 8).
+``secddr_ctr``             SecDDR with counter-mode encryption (Fig. 6).
+``encrypt_only_ctr``       Counter-mode encrypt-only upper bound (Fig. 6).
+``secddr_xts``             SecDDR with AES-XTS (Fig. 6).
+``encrypt_only_xts``       AES-XTS encrypt-only upper bound (Fig. 6).
+``invisimem_*``            Authenticated channel, realistic (2400 MT/s) or
+                           unrealistic (3200 MT/s), XTS or CTR (Figs. 10/12).
+``*_pack8`` / ``*_pack128``  Counter-packing variants for Figure 8.
+=========================  ==========================================================
+
+``build_configuration(name)`` assembles a fresh memory controller (with the
+right channel frequency and write-burst length), metadata cache and
+secure-memory system, ready to be handed to :class:`repro.cpu.system.System`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.metadata_cache import MetadataCache
+from repro.controller.memory_controller import ControllerConfig, MemoryController
+from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800, DDRTimingParameters
+from repro.secure.base import MetadataLayout, SecureMemorySystem
+from repro.secure.baseline import EncryptOnlySystem, TdxBaselineSystem
+from repro.secure.encryption import EncryptionMode
+from repro.secure.integrity_tree import CounterIntegrityTreeSystem, HashMerkleTreeSystem
+from repro.secure.invisimem import InvisiMemSystem
+from repro.secure.secddr_model import SecDDRSystem
+
+__all__ = [
+    "SystemConfiguration",
+    "CONFIGURATIONS",
+    "configuration_names",
+    "build_configuration",
+    "PROTECTED_MEMORY_BYTES",
+    "CRYPTO_LATENCY_CPU_CYCLES",
+]
+
+#: Paper Table I: 16 GB of protected DRAM.
+PROTECTED_MEMORY_BYTES = 16 * 2**30
+#: Paper Table I: 40 processor cycles for encryption and MAC.
+CRYPTO_LATENCY_CPU_CYCLES = 40
+#: DDR4 write-burst occupancy with eWCRC (BL10 -> 5 DRAM cycles).
+SECDDR_WRITE_BURST_CYCLES = 5
+#: DDR5 write-burst occupancy with eWCRC (BL18 -> 9 DRAM cycles).
+SECDDR_WRITE_BURST_CYCLES_DDR5 = 9
+
+
+@dataclass(frozen=True)
+class SystemConfiguration:
+    """Static description of one evaluated configuration."""
+
+    name: str
+    description: str
+    mechanism: str  # "none", "tree", "hash_tree", "secddr", "invisimem"
+    encryption: EncryptionMode
+    timing: DDRTimingParameters = DDR4_3200
+    tree_arity: Optional[int] = None
+    counters_per_line: int = 64
+    write_burst_cycles: Optional[int] = None
+    replay_protection: bool = False
+    figure: str = ""
+
+    @property
+    def uses_extended_write_burst(self) -> bool:
+        return self.write_burst_cycles is not None and self.write_burst_cycles > self.timing.burst_cycles_write
+
+
+def _cfg(**kwargs) -> SystemConfiguration:
+    return SystemConfiguration(**kwargs)
+
+
+#: Every named configuration, keyed by name.
+CONFIGURATIONS: Dict[str, SystemConfiguration] = {
+    c.name: c
+    for c in [
+        _cfg(
+            name="tdx_baseline",
+            description="TDX-like baseline: AES-XTS + MAC in ECC chips, no replay protection",
+            mechanism="none",
+            encryption=EncryptionMode.XTS,
+            replay_protection=False,
+            figure="normalization baseline",
+        ),
+        _cfg(
+            name="integrity_tree_64",
+            description="64-ary counter tree over counter-mode encryption",
+            mechanism="tree",
+            encryption=EncryptionMode.COUNTER,
+            tree_arity=64,
+            counters_per_line=64,
+            replay_protection=True,
+            figure="Fig. 6 / Fig. 8",
+        ),
+        _cfg(
+            name="integrity_tree_128",
+            description="128-ary (Morphable-style) counter tree",
+            mechanism="tree",
+            encryption=EncryptionMode.COUNTER,
+            tree_arity=128,
+            counters_per_line=128,
+            replay_protection=True,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="integrity_tree_8_hash",
+            description="8-ary hash Merkle tree over in-memory MACs (AES-XTS data)",
+            mechanism="hash_tree",
+            encryption=EncryptionMode.XTS,
+            tree_arity=8,
+            replay_protection=True,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="secddr_ctr",
+            description="SecDDR with counter-mode encryption (E-MAC + eWCRC)",
+            mechanism="secddr",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=64,
+            write_burst_cycles=SECDDR_WRITE_BURST_CYCLES,
+            replay_protection=True,
+            figure="Fig. 6 / Fig. 12",
+        ),
+        _cfg(
+            name="encrypt_only_ctr",
+            description="Counter-mode encrypt-only upper bound (assumes integrity)",
+            mechanism="none",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=64,
+            replay_protection=False,
+            figure="Fig. 6 / Fig. 12",
+        ),
+        _cfg(
+            name="secddr_xts",
+            description="SecDDR with AES-XTS encryption (E-MAC + eWCRC)",
+            mechanism="secddr",
+            encryption=EncryptionMode.XTS,
+            write_burst_cycles=SECDDR_WRITE_BURST_CYCLES,
+            replay_protection=True,
+            figure="Fig. 6 / Fig. 10",
+        ),
+        _cfg(
+            name="encrypt_only_xts",
+            description="AES-XTS encrypt-only upper bound (assumes integrity)",
+            mechanism="none",
+            encryption=EncryptionMode.XTS,
+            replay_protection=False,
+            figure="Fig. 6 / Fig. 10",
+        ),
+        _cfg(
+            name="invisimem_unrealistic_xts",
+            description="InvisiMem-style channel at full 3200 MT/s (2x MAC latency)",
+            mechanism="invisimem",
+            encryption=EncryptionMode.XTS,
+            replay_protection=True,
+            figure="Fig. 10",
+        ),
+        _cfg(
+            name="invisimem_realistic_xts",
+            description="InvisiMem-style channel derated to 2400 MT/s",
+            mechanism="invisimem",
+            encryption=EncryptionMode.XTS,
+            timing=DDR4_2400,
+            replay_protection=True,
+            figure="Fig. 10",
+        ),
+        _cfg(
+            name="invisimem_unrealistic_ctr",
+            description="InvisiMem-style channel at 3200 MT/s, counter-mode encryption",
+            mechanism="invisimem",
+            encryption=EncryptionMode.COUNTER,
+            replay_protection=True,
+            figure="Fig. 12",
+        ),
+        _cfg(
+            name="invisimem_realistic_ctr",
+            description="InvisiMem-style channel at 2400 MT/s, counter-mode encryption",
+            mechanism="invisimem",
+            encryption=EncryptionMode.COUNTER,
+            timing=DDR4_2400,
+            replay_protection=True,
+            figure="Fig. 12",
+        ),
+        # Figure 8 counter-packing / arity sensitivity variants.
+        _cfg(
+            name="integrity_tree_8",
+            description="8-ary counter tree (8 counters per line)",
+            mechanism="tree",
+            encryption=EncryptionMode.COUNTER,
+            tree_arity=8,
+            counters_per_line=8,
+            replay_protection=True,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="secddr_ctr_pack8",
+            description="SecDDR, counter mode with 8 counters per line",
+            mechanism="secddr",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=8,
+            write_burst_cycles=SECDDR_WRITE_BURST_CYCLES,
+            replay_protection=True,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="encrypt_only_ctr_pack8",
+            description="Counter-mode encrypt-only with 8 counters per line",
+            mechanism="none",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=8,
+            replay_protection=False,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="secddr_ctr_pack128",
+            description="SecDDR, counter mode with 128 counters per line",
+            mechanism="secddr",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=128,
+            write_burst_cycles=SECDDR_WRITE_BURST_CYCLES,
+            replay_protection=True,
+            figure="Fig. 8",
+        ),
+        _cfg(
+            name="encrypt_only_ctr_pack128",
+            description="Counter-mode encrypt-only with 128 counters per line",
+            mechanism="none",
+            encryption=EncryptionMode.COUNTER,
+            counters_per_line=128,
+            replay_protection=False,
+            figure="Fig. 8",
+        ),
+        # DDR5 variants (paper Section III-B / V-B discussion: the eWCRC
+        # burst extension is relatively smaller on DDR5, BL16 -> BL18).
+        _cfg(
+            name="tdx_baseline_ddr5",
+            description="TDX-like baseline on a DDR5-4800 channel",
+            mechanism="none",
+            encryption=EncryptionMode.XTS,
+            timing=DDR5_4800,
+            replay_protection=False,
+            figure="write-burst ablation",
+        ),
+        _cfg(
+            name="secddr_xts_ddr5",
+            description="SecDDR with AES-XTS on a DDR5-4800 channel (BL18 writes)",
+            mechanism="secddr",
+            encryption=EncryptionMode.XTS,
+            timing=DDR5_4800,
+            write_burst_cycles=SECDDR_WRITE_BURST_CYCLES_DDR5,
+            replay_protection=True,
+            figure="write-burst ablation",
+        ),
+        _cfg(
+            name="encrypt_only_xts_ddr5",
+            description="AES-XTS encrypt-only on a DDR5-4800 channel",
+            mechanism="none",
+            encryption=EncryptionMode.XTS,
+            timing=DDR5_4800,
+            replay_protection=False,
+            figure="write-burst ablation",
+        ),
+    ]
+}
+
+
+def configuration_names() -> List[str]:
+    """All configuration names in declaration order."""
+    return list(CONFIGURATIONS)
+
+
+def build_configuration(
+    name: str,
+    metadata_cache_bytes: int = 128 * 1024,
+    protected_bytes: int = PROTECTED_MEMORY_BYTES,
+    crypto_latency_cpu_cycles: int = CRYPTO_LATENCY_CPU_CYCLES,
+) -> SecureMemorySystem:
+    """Assemble a fresh secure-memory system for configuration ``name``.
+
+    A new memory controller, channel, and metadata cache are created on each
+    call so simulations never share state.
+    """
+    if name not in CONFIGURATIONS:
+        raise KeyError(
+            "unknown configuration %r; known: %s" % (name, ", ".join(CONFIGURATIONS))
+        )
+    spec = CONFIGURATIONS[name]
+    controller = MemoryController(
+        ControllerConfig(
+            timing=spec.timing,
+            write_burst_cycles=spec.write_burst_cycles,
+        )
+    )
+    metadata_cache = MetadataCache(size_bytes=metadata_cache_bytes)
+    layout = MetadataLayout()
+
+    if spec.mechanism == "tree":
+        return CounterIntegrityTreeSystem(
+            controller,
+            metadata_cache,
+            layout,
+            crypto_latency_cpu_cycles,
+            arity=spec.tree_arity or 64,
+            counters_per_line=spec.counters_per_line,
+            protected_bytes=protected_bytes,
+        )
+    if spec.mechanism == "hash_tree":
+        return HashMerkleTreeSystem(
+            controller,
+            metadata_cache,
+            layout,
+            crypto_latency_cpu_cycles,
+            arity=spec.tree_arity or 8,
+            protected_bytes=protected_bytes,
+        )
+    if spec.mechanism == "secddr":
+        return SecDDRSystem(
+            controller,
+            metadata_cache,
+            layout,
+            crypto_latency_cpu_cycles,
+            encryption_mode=spec.encryption,
+            counters_per_line=spec.counters_per_line,
+        )
+    if spec.mechanism == "invisimem":
+        return InvisiMemSystem(
+            controller,
+            metadata_cache,
+            layout,
+            crypto_latency_cpu_cycles,
+            encryption_mode=spec.encryption,
+            counters_per_line=spec.counters_per_line,
+            realistic=spec.timing is DDR4_2400,
+        )
+    # mechanism == "none": baseline or encrypt-only.
+    if name.startswith("tdx"):
+        return TdxBaselineSystem(
+            controller,
+            metadata_cache,
+            layout,
+            crypto_latency_cpu_cycles,
+            encryption_mode=spec.encryption,
+            counters_per_line=spec.counters_per_line,
+        )
+    return EncryptOnlySystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency_cpu_cycles,
+        encryption_mode=spec.encryption,
+        counters_per_line=spec.counters_per_line,
+    )

@@ -1,0 +1,65 @@
+"""Per-cache-line MAC placement models.
+
+Secure memories must fetch a MAC with every protected line.  Where the MAC
+lives determines whether that costs extra memory traffic:
+
+* **ECC chips** (Intel TDX, SafeGuard, Synergy, and SecDDR's assumption):
+  the MAC rides the ECC portion of the bus together with the data, so there
+  is no extra transfer and no extra storage visible to the data bus.
+* **In-memory MAC lines** (hash-based Merkle tree designs, the 8-ary
+  configuration of Figure 8): eight 8-byte MACs share one 64-byte line that
+  must be fetched/updated separately and contends for the metadata cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.secure.base import MetadataLayout
+
+__all__ = ["MacPlacement", "MacStore"]
+
+
+class MacPlacement(enum.Enum):
+    """Where per-line MACs are stored."""
+
+    ECC_CHIP = "ecc_chip"
+    IN_MEMORY = "in_memory"
+    NONE = "none"
+
+
+@dataclass
+class MacStore:
+    """MAC placement model used by the secure-memory systems."""
+
+    layout: MetadataLayout
+    placement: MacPlacement = MacPlacement.ECC_CHIP
+    macs_per_line: int = 8
+    mac_bytes: int = 8
+
+    # ------------------------------------------------------------------
+    def read_touches(self, data_address: int) -> List[int]:
+        """Metadata lines that must be fetched to verify a read."""
+        if self.placement is MacPlacement.IN_MEMORY:
+            return [self.layout.mac_line_address(data_address, self.macs_per_line)]
+        return []
+
+    def write_touches(self, data_address: int) -> List[int]:
+        """Metadata lines dirtied when a line (and its MAC) is written."""
+        if self.placement is MacPlacement.IN_MEMORY:
+            return [self.layout.mac_line_address(data_address, self.macs_per_line)]
+        return []
+
+    # ------------------------------------------------------------------
+    def storage_overhead_fraction(self, line_bytes: int = 64) -> float:
+        """MAC storage as a fraction of data capacity.
+
+        ECC-chip placement has zero *additional* storage (the ECC chips
+        already exist for reliability); in-memory placement costs
+        ``mac_bytes / line_bytes`` (12.5% for 8-byte MACs on 64-byte lines).
+        """
+        if self.placement is MacPlacement.IN_MEMORY:
+            return self.mac_bytes / line_bytes
+        return 0.0

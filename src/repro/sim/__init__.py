@@ -1,0 +1,32 @@
+"""Simulation driver: experiment runner, statistics, sweeps, result records.
+
+This is the layer the benchmark harness and the examples call into: it wires
+a workload trace, a secure-memory configuration, and the multi-core system
+model together, runs the simulation, and reports paper-style normalized
+results (IPC relative to the TDX-like baseline, per-workload and geometric
+means over all / memory-intensive workloads).
+"""
+
+from repro.sim.stats import geometric_mean, normalize, summarize
+from repro.sim.results import SimulationResult, ComparisonResult
+from repro.sim.experiment import (
+    ExperimentConfig,
+    run_simulation,
+    run_comparison,
+    default_system_parameters,
+)
+from repro.sim.sweep import arity_sweep, counter_packing_sweep
+
+__all__ = [
+    "geometric_mean",
+    "normalize",
+    "summarize",
+    "SimulationResult",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "run_simulation",
+    "run_comparison",
+    "default_system_parameters",
+    "arity_sweep",
+    "counter_packing_sweep",
+]

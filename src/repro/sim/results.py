@@ -1,0 +1,74 @@
+"""Result records produced by the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.stats import geometric_mean
+
+__all__ = ["SimulationResult", "ComparisonResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one (workload, configuration) pair."""
+
+    workload: str
+    configuration: str
+    total_ipc: float
+    total_instructions: int
+    total_cycles: float
+    average_read_latency_cycles: float
+    memory_stats: Dict[str, float] = field(default_factory=dict)
+
+    def stat(self, key: str, default: float = 0.0) -> float:
+        return self.memory_stats.get(key, default)
+
+
+@dataclass
+class ComparisonResult:
+    """Normalized-performance table for several configurations.
+
+    ``normalized[config][workload]`` is IPC relative to the baseline
+    configuration for that workload -- the quantity plotted in Figures 6, 8,
+    10 and 12.
+    """
+
+    baseline: str
+    workloads: List[str]
+    configurations: List[str]
+    raw_ipc: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    normalized: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    results: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def gmean(self, configuration: str, workloads: Optional[List[str]] = None) -> float:
+        """Geometric mean of normalized IPC for ``configuration``."""
+        selected = workloads if workloads is not None else self.workloads
+        values = [self.normalized[configuration][w] for w in selected if w in self.normalized[configuration]]
+        return geometric_mean(values)
+
+    def speedup_over(self, configuration: str, reference: str, workloads: Optional[List[str]] = None) -> float:
+        """Average speedup of ``configuration`` relative to ``reference``."""
+        return self.gmean(configuration, workloads) / self.gmean(reference, workloads)
+
+    def result(self, configuration: str, workload: str) -> SimulationResult:
+        return self.results[configuration][workload]
+
+    # ------------------------------------------------------------------
+    def format_table(self, precision: int = 3) -> str:
+        """Render the normalized-performance table as text (paper-style rows)."""
+        header = ["workload"] + self.configurations
+        rows = [header]
+        for workload in self.workloads:
+            row = [workload]
+            for config in self.configurations:
+                value = self.normalized.get(config, {}).get(workload)
+                row.append("-" if value is None else f"{value:.{precision}f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = []
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)

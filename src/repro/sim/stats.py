@@ -1,0 +1,47 @@
+"""Statistics helpers: geometric means, normalization, summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["geometric_mean", "normalize", "summarize"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the mean the paper's figures use).
+
+    Raises ``ValueError`` for empty input or non-positive values, because a
+    silent 0.0 would corrupt a normalized-performance summary.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize every entry of ``values`` to ``values[baseline_key]``."""
+    if baseline_key not in values:
+        raise KeyError("baseline %r missing from values" % baseline_key)
+    baseline = values[baseline_key]
+    if baseline <= 0:
+        raise ValueError("baseline value must be positive, got %r" % baseline)
+    return {key: value / baseline for key, value in values.items()}
+
+
+def summarize(per_workload: Mapping[str, float], memory_intensive: Iterable[str]) -> Dict[str, float]:
+    """Geometric-mean summary over all and over memory-intensive workloads.
+
+    Mirrors the two ``gmean`` bars at the right of the paper's figures.
+    """
+    all_values = list(per_workload.values())
+    intensive_names = [name for name in memory_intensive if name in per_workload]
+    summary = {"gmean_all": geometric_mean(all_values)}
+    if intensive_names:
+        summary["gmean_memory_intensive"] = geometric_mean(
+            [per_workload[name] for name in intensive_names]
+        )
+    return summary

@@ -1,0 +1,92 @@
+"""Parameter sweeps: tree arity and counter packing (Figure 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.sim.results import ComparisonResult
+from repro.workloads.registry import memory_intensive_workloads
+
+__all__ = ["ARITY_GROUPS", "arity_sweep", "counter_packing_sweep"]
+
+#: Figure 8 groups: for each arity, the tree configuration and the SecDDR /
+#: encrypt-only configurations using the matching counter packing.
+ARITY_GROUPS: Dict[int, Dict[str, str]] = {
+    8: {
+        "tree": "integrity_tree_8_hash",
+        "secddr": "secddr_ctr_pack8",
+        "encrypt_only": "encrypt_only_ctr_pack8",
+    },
+    64: {
+        "tree": "integrity_tree_64",
+        "secddr": "secddr_ctr",
+        "encrypt_only": "encrypt_only_ctr",
+    },
+    128: {
+        "tree": "integrity_tree_128",
+        "secddr": "secddr_ctr_pack128",
+        "encrypt_only": "encrypt_only_ctr_pack128",
+    },
+}
+
+
+def arity_sweep(
+    workloads: Optional[Iterable[str]] = None,
+    arities: Iterable[int] = (8, 64, 128),
+    experiment: Optional[ExperimentConfig] = None,
+    baseline: str = "tdx_baseline",
+) -> Dict[int, Dict[str, float]]:
+    """Figure 8: gmean normalized IPC per arity for tree/SecDDR/encrypt-only.
+
+    Returns ``{arity: {"tree": g, "secddr": g, "encrypt_only": g}}`` where
+    each value is the geometric mean of normalized IPC over ``workloads``
+    (default: the memory-intensive subset, as in the paper's summary bars).
+    """
+    workload_list = list(workloads) if workloads is not None else memory_intensive_workloads()
+    summary: Dict[int, Dict[str, float]] = {}
+    for arity in arities:
+        if arity not in ARITY_GROUPS:
+            raise KeyError("no configuration group for arity %d" % arity)
+        group = ARITY_GROUPS[arity]
+        comparison = run_comparison(
+            configurations=list(group.values()),
+            workloads=workload_list,
+            baseline=baseline,
+            experiment=experiment,
+        )
+        summary[arity] = {
+            role: comparison.gmean(config_name) for role, config_name in group.items()
+        }
+    return summary
+
+
+def counter_packing_sweep(
+    workloads: Optional[Iterable[str]] = None,
+    packings: Iterable[int] = (8, 64, 128),
+    experiment: Optional[ExperimentConfig] = None,
+    baseline: str = "tdx_baseline",
+) -> Dict[int, Dict[str, float]]:
+    """Right half of Figure 8: SecDDR / encrypt-only vs. counters per line."""
+    workload_list = list(workloads) if workloads is not None else memory_intensive_workloads()
+    packing_groups = {
+        8: {"secddr": "secddr_ctr_pack8", "encrypt_only": "encrypt_only_ctr_pack8"},
+        64: {"secddr": "secddr_ctr", "encrypt_only": "encrypt_only_ctr"},
+        128: {"secddr": "secddr_ctr_pack128", "encrypt_only": "encrypt_only_ctr_pack128"},
+    }
+    summary: Dict[int, Dict[str, float]] = {}
+    for packing in packings:
+        if packing not in packing_groups:
+            raise KeyError("no configuration group for packing %d" % packing)
+        group = packing_groups[packing]
+        comparison = run_comparison(
+            configurations=list(group.values()),
+            workloads=workload_list,
+            baseline=baseline,
+            experiment=experiment,
+        )
+        summary[packing] = {
+            role: comparison.gmean(config_name) for role, config_name in group.items()
+        }
+    return summary

@@ -1,0 +1,181 @@
+"""GAP Benchmark Suite-like graph workloads.
+
+The paper evaluates six GAPBS kernels (bfs, pr, tc, cc, bc, sssp); they are
+the workloads with the largest SecDDR gains because their random
+neighbour-array accesses defeat the metadata cache.  This module models a
+CSR-format power-law graph *virtually* (hub vertices are drawn from a small
+table, the edge array is addressed but never materialized, so multi-hundred-
+megabyte graphs cost nothing to "build") and generates the address trace a
+graph kernel produces: sequential index/frontier reads mixed with random
+neighbour and property accesses spread over the whole graph footprint.
+`networkx` is optional and only used by the example scripts for small,
+fully materialized graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+__all__ = ["SyntheticGraph", "GAPBS_PROFILES", "GapbsProfile", "build_gapbs_trace"]
+
+LINE_BYTES = 64
+VERTEX_BYTES = 8  # one 8-byte property / offset entry per vertex
+EDGE_BYTES = 8    # one 8-byte neighbour id per edge
+
+
+@dataclass(frozen=True)
+class GapbsProfile:
+    """Calibration for one GAPBS kernel."""
+
+    name: str
+    mpki: float
+    write_fraction: float
+    #: Fraction of accesses that hit the sequential index/frontier arrays
+    #: (the remainder are random neighbour/property accesses).
+    sequential_fraction: float
+    num_vertices: int
+    average_degree: int
+    #: Fraction of random vertex accesses that land on hub vertices (the
+    #: power-law head, which caches well).
+    hub_fraction: float = 0.2
+
+
+GAPBS_PROFILES: Dict[str, GapbsProfile] = {
+    profile.name: profile
+    for profile in [
+        GapbsProfile("bfs", 15.0, 0.20, 0.45, 1 << 21, 16),
+        GapbsProfile("pr", 50.5, 0.25, 0.25, 1 << 22, 16),
+        GapbsProfile("tc", 8.0, 0.10, 0.55, 1 << 20, 32),
+        GapbsProfile("cc", 25.0, 0.20, 0.35, 1 << 21, 16),
+        GapbsProfile("bc", 40.0, 0.25, 0.28, 1 << 22, 16),
+        GapbsProfile("sssp", 45.0, 0.25, 0.28, 1 << 22, 16),
+    ]
+}
+
+
+class SyntheticGraph:
+    """A virtual CSR-layout power-law graph living at a base address.
+
+    The graph occupies two arrays: the vertex/property array (8 bytes per
+    vertex) followed by the edge array (8 bytes per edge).  Neither array is
+    materialized; edge targets are drawn on demand with a power-law-ish
+    distribution (a small hub set absorbs a configurable fraction of the
+    traffic, the rest is uniform), which is the property that matters for
+    cache and metadata-cache behaviour.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        average_degree: int,
+        seed: int = 1,
+        hub_fraction: float = 0.2,
+        hub_count: int = 1024,
+    ) -> None:
+        if num_vertices < 2:
+            raise ValueError("graph needs at least two vertices")
+        self.num_vertices = num_vertices
+        self.average_degree = average_degree
+        self.hub_fraction = hub_fraction
+        self._rng = np.random.default_rng(seed)
+        self.hub_vertices = self._rng.integers(
+            0, num_vertices, size=min(hub_count, num_vertices), dtype=np.int64
+        )
+        self.num_edges = num_vertices * average_degree
+
+    # ------------------------------------------------------------------
+    @property
+    def vertex_array_bytes(self) -> int:
+        return self.num_vertices * VERTEX_BYTES
+
+    @property
+    def edge_array_bytes(self) -> int:
+        return self.num_edges * EDGE_BYTES
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.vertex_array_bytes + self.edge_array_bytes
+
+    # ------------------------------------------------------------------
+    def vertex_address(self, vertex: int) -> int:
+        """Line-aligned byte address of a vertex's property entry."""
+        return (vertex * VERTEX_BYTES) // LINE_BYTES * LINE_BYTES
+
+    def edge_address(self, edge_index: int) -> int:
+        """Line-aligned byte address of an edge-array entry."""
+        offset = self.vertex_array_bytes + edge_index * EDGE_BYTES
+        return (offset // LINE_BYTES) * LINE_BYTES
+
+    def sample_edge_index(self) -> int:
+        """A uniformly random position in the edge array."""
+        return int(self._rng.integers(0, self.num_edges))
+
+    def sample_target_vertex(self) -> int:
+        """A random edge target: hub-biased power-law-ish distribution."""
+        if self._rng.random() < self.hub_fraction:
+            return int(self._rng.choice(self.hub_vertices))
+        return int(self._rng.integers(0, self.num_vertices))
+
+
+def build_gapbs_trace(
+    name: str,
+    num_accesses: int = 20000,
+    seed: int = 1,
+) -> MemoryTrace:
+    """Generate the LLC-miss trace of a GAPBS-like kernel.
+
+    The kernel walk alternates between streaming through the frontier /
+    offset arrays (sequential lines, prefetch-friendly) and dereferencing
+    random edges followed by a property access on the target vertex (random
+    lines across the whole footprint).  Property updates (new PageRank
+    scores, parent pointers, distances) appear as writebacks at the profile's
+    write fraction.
+    """
+    if name not in GAPBS_PROFILES:
+        raise KeyError("unknown GAPBS-like workload %r" % name)
+    profile = GAPBS_PROFILES[name]
+    graph = SyntheticGraph(
+        profile.num_vertices,
+        profile.average_degree,
+        seed=seed,
+        hub_fraction=profile.hub_fraction,
+    )
+    rng = np.random.default_rng(seed + 1)
+
+    mean_gap = 1000.0 / profile.mpki if profile.mpki > 0 else 10000.0
+    records: List[TraceRecord] = []
+    frontier_cursor = 0
+    while len(records) < num_accesses:
+        sequential = rng.random() < profile.sequential_fraction
+        gap = max(1, int(rng.exponential(mean_gap)))
+        if sequential:
+            # Stream the frontier / offsets array.
+            address = graph.vertex_address(frontier_cursor % profile.num_vertices)
+            frontier_cursor += LINE_BYTES // VERTEX_BYTES
+            records.append(TraceRecord(instruction_gap=gap, is_write=False, address=address))
+            continue
+        # Visit a random source vertex: its adjacency list is contiguous in
+        # the CSR edge array (sequential lines), and each sampled neighbour
+        # causes a random property access on the target vertex.
+        edge_start = graph.sample_edge_index()
+        adjacency_lines = max(1, (profile.average_degree * EDGE_BYTES) // LINE_BYTES)
+        for line in range(adjacency_lines):
+            if len(records) >= num_accesses:
+                break
+            edge_addr = graph.edge_address(edge_start) + line * LINE_BYTES
+            records.append(TraceRecord(instruction_gap=gap, is_write=False, address=edge_addr))
+        neighbour_samples = int(rng.integers(1, 4))
+        for _ in range(neighbour_samples):
+            if len(records) >= num_accesses:
+                break
+            target_address = graph.vertex_address(graph.sample_target_vertex())
+            is_write = bool(rng.random() < profile.write_fraction)
+            records.append(
+                TraceRecord(instruction_gap=1, is_write=is_write, address=target_address)
+            )
+    return MemoryTrace(name, records[:num_accesses])

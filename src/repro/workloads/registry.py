@@ -1,0 +1,93 @@
+"""Named workload registry the benchmark harness iterates over.
+
+The registry lists the 29 workloads of the paper's figures (23 SPEC CPU 2017
+rate benchmarks + 6 GAPBS kernels) in figure order, and knows which are
+"memory intensive" under the paper's MPKI >= 10 definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cpu.trace import MemoryTrace
+from repro.workloads.gapbs_like import GAPBS_PROFILES, build_gapbs_trace
+from repro.workloads.spec_like import SPEC_PROFILES, build_spec_trace
+
+__all__ = [
+    "MEMORY_INTENSIVE_THRESHOLD_MPKI",
+    "WorkloadSpec",
+    "ALL_WORKLOADS",
+    "workload_names",
+    "memory_intensive_workloads",
+    "build_workload",
+]
+
+#: Paper Section IV-A: workloads with LLC MPKI >= 10 are memory intensive.
+MEMORY_INTENSIVE_THRESHOLD_MPKI = 10.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One entry of the registry."""
+
+    name: str
+    suite: str  # "spec2017" or "gapbs"
+    mpki: float
+    write_fraction: float
+
+    @property
+    def memory_intensive(self) -> bool:
+        return self.mpki >= MEMORY_INTENSIVE_THRESHOLD_MPKI
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    registry: Dict[str, WorkloadSpec] = {}
+    for profile in SPEC_PROFILES.values():
+        registry[profile.name] = WorkloadSpec(
+            name=profile.name,
+            suite="spec2017",
+            mpki=profile.mpki,
+            write_fraction=profile.write_fraction,
+        )
+    for profile in GAPBS_PROFILES.values():
+        registry[profile.name] = WorkloadSpec(
+            name=profile.name,
+            suite="gapbs",
+            mpki=profile.mpki,
+            write_fraction=profile.write_fraction,
+        )
+    return registry
+
+
+#: All workloads keyed by name, in the paper's figure order (SPEC then GAPBS).
+ALL_WORKLOADS: Dict[str, WorkloadSpec] = _build_registry()
+
+
+def workload_names(memory_intensive_only: bool = False) -> List[str]:
+    """Workload names in figure order."""
+    names = list(ALL_WORKLOADS)
+    if memory_intensive_only:
+        names = [n for n in names if ALL_WORKLOADS[n].memory_intensive]
+    return names
+
+
+def memory_intensive_workloads() -> List[str]:
+    """Names of the workloads with MPKI >= 10."""
+    return workload_names(memory_intensive_only=True)
+
+
+def build_workload(
+    name: str,
+    num_accesses: int = 20000,
+    seed: int = 1,
+) -> MemoryTrace:
+    """Build the synthetic trace for workload ``name`` (SPEC or GAPBS)."""
+    if name not in ALL_WORKLOADS:
+        raise KeyError(
+            "unknown workload %r; known workloads: %s" % (name, ", ".join(ALL_WORKLOADS))
+        )
+    spec = ALL_WORKLOADS[name]
+    if spec.suite == "spec2017":
+        return build_spec_trace(name, num_accesses=num_accesses, seed=seed)
+    return build_gapbs_trace(name, num_accesses=num_accesses, seed=seed)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the SecDDR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FunctionalMemorySystem, SecDDRConfig
+
+
+@pytest.fixture
+def secddr_memory() -> FunctionalMemorySystem:
+    """A fully provisioned functional SecDDR memory system."""
+    return FunctionalMemorySystem(config=SecDDRConfig(), initial_counter=0)
+
+
+@pytest.fixture
+def baseline_memory() -> FunctionalMemorySystem:
+    """A TDX-like functional system: MACs but no replay protection."""
+    return FunctionalMemorySystem(config=SecDDRConfig.baseline_no_rap(), initial_counter=0)
+
+
+@pytest.fixture
+def sample_line() -> bytes:
+    """A deterministic 64-byte cache line."""
+    return bytes(range(64))

@@ -1,0 +1,149 @@
+"""Tests for the analytical power, area and security-math models."""
+
+import pytest
+
+from repro.analysis.area import AreaModel, secddr_area_overhead_mm2
+from repro.analysis.power import (
+    DDR4_X4_4GB,
+    DDR4_X8_8GB,
+    DDR5_X4,
+    AesEngineModel,
+    compute_power_overhead,
+    table2_power_overheads,
+)
+from repro.analysis.security_math import (
+    SecurityAnalysis,
+    ccca_error_interval_days,
+    counter_overflow_years,
+    dimm_substitution_match_probability,
+    ewcrc_bruteforce_attempts,
+    ewcrc_bruteforce_years,
+)
+
+
+class TestAesEngineModel:
+    def test_throughput_scales_with_frequency(self):
+        engine = AesEngineModel()
+        assert engine.throughput_at(2100.0) == pytest.approx(53.0)
+        assert engine.throughput_at(500.0) == pytest.approx(53.0 * 500 / 2100)
+
+    def test_power_scales_linearly_with_frequency(self):
+        engine = AesEngineModel()
+        assert engine.power_at(1050.0) == pytest.approx(engine.reference_power_mw / 2)
+
+    def test_power_scales_quadratically_with_voltage(self):
+        engine = AesEngineModel()
+        full = engine.power_at(500.0, voltage=1.2)
+        reduced = engine.power_at(500.0, voltage=1.1)
+        assert reduced == pytest.approx(full * (1.1 / 1.2) ** 2)
+
+    def test_units_needed_matches_paper_table2(self):
+        engine = AesEngineModel()
+        # x4 DDR4-3200: 12.8 Gb/s needs 2 engines; x8: 25.6 Gb/s needs 3.
+        assert engine.units_needed(12.8, 500.0) == 2
+        assert engine.units_needed(25.6, 500.0) == 3
+
+    def test_units_needed_ddr5(self):
+        # x4 DDR5-8800: 35.2 Gb/s needs 3 engines (paper Section V-B).
+        assert AesEngineModel().units_needed(35.2, 500.0) == 3
+
+
+class TestTable2:
+    def test_x4_row_matches_paper(self):
+        row = compute_power_overhead(DDR4_X4_4GB)
+        assert row.aes_units_per_ecc_chip == 2
+        assert row.aes_power_per_ecc_chip_mw == pytest.approx(70.8, rel=0.02)
+        assert row.overhead_per_rank_percent == pytest.approx(2.1, abs=0.3)
+
+    def test_x8_row_matches_paper(self):
+        row = compute_power_overhead(DDR4_X8_8GB)
+        assert row.aes_units_per_ecc_chip == 3
+        assert row.aes_power_per_ecc_chip_mw == pytest.approx(106.3, rel=0.02)
+        assert row.overhead_per_rank_percent == pytest.approx(2.3, abs=0.3)
+
+    def test_ddr5_overhead_below_5_percent(self):
+        row = compute_power_overhead(DDR5_X4)
+        assert row.aes_power_per_ecc_chip_mw == pytest.approx(89.3, rel=0.03)
+        assert row.overhead_per_rank_percent < 5.0
+
+    def test_overall_overhead_below_3_percent_ddr4(self):
+        for row in table2_power_overheads(include_ddr5=False):
+            assert row.overhead_per_rank_percent < 3.0
+
+    def test_table_has_three_rows_with_ddr5(self):
+        assert len(table2_power_overheads()) == 3
+
+
+class TestAreaModel:
+    def test_total_area_under_1_5_mm2(self):
+        assert secddr_area_overhead_mm2(aes_units=3) < 1.5
+
+    def test_breakdown_sums_to_total(self):
+        model = AreaModel()
+        breakdown = model.breakdown(aes_units=3)
+        assert breakdown["total"] == pytest.approx(
+            breakdown["aes_engines"] + breakdown["ec_multiplier"] + breakdown["sha256"]
+        )
+
+    def test_pim_unit_much_larger_than_aes_engine(self):
+        # The paper: a published PIM execution unit is >20x an AES engine.
+        assert AreaModel().versus_pim_unit() > 10.0
+
+    def test_attestation_logic_is_small(self):
+        model = AreaModel()
+        assert model.attestation_logic_mm2() < model.secddr_logic_mm2(aes_units=2)
+
+
+class TestSecurityMath:
+    def test_ccca_error_interval_matches_paper(self):
+        # ~11 days between natural CCCA errors at the JEDEC worst-case BER.
+        days = ccca_error_interval_days(1e-16)
+        assert days == pytest.approx(11.13, rel=0.05)
+
+    def test_bruteforce_attempts_for_16bit_crc(self):
+        # ~4.5e4 attempts for a 50% success probability.
+        attempts = ewcrc_bruteforce_attempts(16, 0.5)
+        assert attempts == pytest.approx(4.5e4, rel=0.02)
+
+    def test_bruteforce_duration_worst_case_ber(self):
+        # ~1,385 years at BER 1e-16 on a single channel.
+        years = ewcrc_bruteforce_years(1e-16)
+        assert years == pytest.approx(1385, rel=0.05)
+
+    def test_bruteforce_duration_realistic_ber(self):
+        # ~138 million years at BER 1e-21.
+        years = ewcrc_bruteforce_years(1e-21)
+        assert years == pytest.approx(138e6, rel=0.05)
+
+    def test_parallel_attack_still_takes_tens_of_millennia(self):
+        # 1,000 nodes x 16 channels at the best-case BER: > 86,000 years.
+        years = ewcrc_bruteforce_years(1e-22, parallel_channels=1000 * 16)
+        assert years > 80_000
+
+    def test_counter_overflow_over_500_years(self):
+        assert counter_overflow_years(64, 1e9) > 500
+
+    def test_small_counter_overflows_quickly(self):
+        assert counter_overflow_years(32, 1e9) < 1.0
+
+    def test_dimm_substitution_match_probability(self):
+        assert dimm_substitution_match_probability(64) == pytest.approx(2.0**-64)
+
+    def test_report_contains_all_headline_numbers(self):
+        report = SecurityAnalysis().report()
+        for key in (
+            "ccca_error_interval_days_worst_ber",
+            "ewcrc_attempts_for_50pct",
+            "bruteforce_years_worst_ber",
+            "counter_overflow_years",
+            "dimm_substitution_match_probability",
+        ):
+            assert key in report
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ccca_error_interval_days(0.0)
+        with pytest.raises(ValueError):
+            ewcrc_bruteforce_attempts(16, 1.5)
+        with pytest.raises(ValueError):
+            counter_overflow_years(64, 0.0)

@@ -1,0 +1,218 @@
+"""Tests for the attack framework: the paper's security claims, executable.
+
+The detection matrix these tests pin down is the core security result of the
+paper: the TDX-like baseline (integrity but no replay protection) falls to
+every replay-style attack, SecDDR detects all of them, and SecDDR without the
+encrypted eWCRC is still vulnerable to misdirected-write (stale data) attacks
+-- which is exactly why Section III-B introduces it.
+"""
+
+import pytest
+
+from repro.attacks import (
+    AddressCorruptionAttack,
+    AttackCampaign,
+    AttackOutcome,
+    BusReplayAttack,
+    DataRelocationAttack,
+    DimmSubstitutionAttack,
+    ReadTamperAttack,
+    RecordingAdversary,
+    RowHammerAttack,
+    WriteDropAttack,
+    WriteToReadConversionAttack,
+    run_standard_campaign,
+)
+from repro.core import FunctionalMemorySystem, SecDDRConfig
+
+
+def _memory(config=None):
+    return FunctionalMemorySystem(config=config or SecDDRConfig(), initial_counter=0)
+
+
+class TestBusReplay:
+    def test_detected_under_secddr(self):
+        result = BusReplayAttack().run(_memory(), "secddr")
+        assert result.outcome is AttackOutcome.DETECTED
+
+    def test_succeeds_against_baseline(self):
+        result = BusReplayAttack().run(_memory(SecDDRConfig.baseline_no_rap()), "baseline")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+    def test_detected_even_without_ewcrc(self):
+        result = BusReplayAttack().run(_memory(SecDDRConfig(ewcrc_enabled=False)), "no_ewcrc")
+        assert result.outcome is AttackOutcome.DETECTED
+
+
+class TestAddressCorruption:
+    def test_detected_at_write_time_under_secddr(self):
+        result = AddressCorruptionAttack().run(_memory(), "secddr")
+        assert result.outcome is AttackOutcome.DETECTED
+        assert "eWCRC" in (result.detection_point or "")
+
+    def test_succeeds_without_ewcrc(self):
+        # E-MACs alone cannot catch the stale-data attack (Section III-B).
+        result = AddressCorruptionAttack().run(_memory(SecDDRConfig(ewcrc_enabled=False)), "no_ewcrc")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+    def test_succeeds_against_baseline(self):
+        result = AddressCorruptionAttack().run(_memory(SecDDRConfig.baseline_no_rap()), "baseline")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+    def test_column_corruption_also_detected(self):
+        attack = AddressCorruptionAttack()
+        memory = _memory()
+        # Corrupt the column instead of the row by using a column offset.
+        address = attack.target_address
+        memory.write(address, b"\xaa" * 64)
+        memory.read(address)
+        from repro.core.protocol import WriteTransaction
+        from repro.attacks.adversary import BusAdversary
+
+        adversary = BusAdversary()
+
+        def corrupt(txn):
+            if txn.command.address != address:
+                return txn
+            return txn.with_command(txn.command.redirected(column=(txn.command.column + 1) % 128))
+
+        adversary.write_hook = corrupt
+        memory.attach_adversary(adversary)
+        before = memory.stats.rejected_writes
+        memory.write(address, b"\xbb" * 64)
+        memory.detach_adversary()
+        assert memory.stats.rejected_writes == before + 1
+
+
+class TestWriteDropAndConversion:
+    def test_drop_detected_under_secddr(self):
+        result = WriteDropAttack().run(_memory(), "secddr")
+        assert result.outcome is AttackOutcome.DETECTED
+
+    def test_drop_succeeds_against_baseline(self):
+        result = WriteDropAttack().run(_memory(SecDDRConfig.baseline_no_rap()), "baseline")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+    def test_conversion_detected_with_parity_rule(self):
+        result = WriteToReadConversionAttack().run(_memory(), "secddr")
+        assert result.outcome is AttackOutcome.DETECTED
+        assert result.observations.get("counters_diverged") == 1.0
+
+    def test_conversion_succeeds_without_parity_rule(self):
+        # The exact gap the paper's even/odd counter assignment closes.
+        config = SecDDRConfig(counter_parity_rule=False)
+        result = WriteToReadConversionAttack().run(_memory(config), "secddr_no_parity")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+    def test_conversion_succeeds_against_baseline(self):
+        result = WriteToReadConversionAttack().run(_memory(SecDDRConfig.baseline_no_rap()), "baseline")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+
+class TestDimmSubstitution:
+    def test_detected_under_secddr(self):
+        result = DimmSubstitutionAttack().run(_memory(), "secddr")
+        assert result.outcome is AttackOutcome.DETECTED
+
+    def test_succeeds_against_baseline(self):
+        result = DimmSubstitutionAttack().run(_memory(SecDDRConfig.baseline_no_rap()), "baseline")
+        assert result.outcome is AttackOutcome.SUCCEEDED
+
+
+class TestDataRelocation:
+    def test_detected_by_address_bound_macs_everywhere(self):
+        # Splicing a valid (data, MAC) pair to another address is caught by
+        # any configuration whose MAC binds the physical address -- including
+        # the no-RAP baseline.
+        for config, name in (
+            (SecDDRConfig(), "secddr"),
+            (SecDDRConfig.baseline_no_rap(), "baseline"),
+        ):
+            result = DataRelocationAttack().run(_memory(config), name)
+            assert result.outcome is AttackOutcome.DETECTED, name
+
+
+class TestDataCorruptionAttacks:
+    def test_rowhammer_detected_by_all_mac_configurations(self):
+        for config, name in (
+            (SecDDRConfig(), "secddr"),
+            (SecDDRConfig.baseline_no_rap(), "baseline"),
+        ):
+            result = RowHammerAttack().run(_memory(config), name)
+            assert result.outcome is AttackOutcome.DETECTED, name
+
+    def test_read_tamper_detected_by_all_mac_configurations(self):
+        for config, name in (
+            (SecDDRConfig(), "secddr"),
+            (SecDDRConfig.baseline_no_rap(), "baseline"),
+        ):
+            result = ReadTamperAttack().run(_memory(config), name)
+            assert result.outcome is AttackOutcome.DETECTED, name
+
+
+class TestRecordingAdversary:
+    def test_records_per_address_history(self):
+        memory = _memory()
+        adversary = RecordingAdversary()
+        memory.attach_adversary(adversary)
+        memory.write(0x4000, b"\x01" * 64)
+        memory.read(0x4000)
+        memory.write(0x4000, b"\x02" * 64)
+        memory.read(0x4000)
+        memory.detach_adversary()
+        assert len(adversary.response_history[0x4000]) == 2
+        assert len(adversary.write_history[0x4000]) == 2
+        assert adversary.recorded_response(0x4000) is adversary.response_history[0x4000][0]
+        assert adversary.recorded_response(0x9999) is None
+
+    def test_passthrough_does_not_break_operation(self):
+        memory = _memory()
+        memory.attach_adversary(RecordingAdversary())
+        memory.write(0x4000, b"\x01" * 64)
+        assert memory.read(0x4000) == b"\x01" * 64
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_standard_campaign()
+
+    def test_campaign_covers_all_pairs(self, results):
+        configurations = {r.configuration for r in results}
+        attacks = {r.attack for r in results}
+        assert configurations == {"baseline_no_rap", "secddr_no_ewcrc", "secddr"}
+        assert len(attacks) == 8
+        assert len(results) == 24
+
+    def test_secddr_detects_every_attack(self, results):
+        for result in results:
+            if result.configuration == "secddr":
+                assert result.outcome is AttackOutcome.DETECTED, result.attack
+
+    def test_baseline_vulnerable_to_replay_style_attacks(self, results):
+        replay_style = {
+            "bus_replay",
+            "address_corruption",
+            "write_drop",
+            "write_to_read_conversion",
+            "dimm_substitution",
+        }
+        for result in results:
+            if result.configuration == "baseline_no_rap" and result.attack in replay_style:
+                assert result.outcome is AttackOutcome.SUCCEEDED, result.attack
+
+    def test_no_ewcrc_vulnerable_only_to_address_corruption(self, results):
+        for result in results:
+            if result.configuration == "secddr_no_ewcrc":
+                if result.attack == "address_corruption":
+                    assert result.outcome is AttackOutcome.SUCCEEDED
+                else:
+                    assert result.outcome is AttackOutcome.DETECTED, result.attack
+
+    def test_matrix_formatting(self, results):
+        text = AttackCampaign.format_matrix(results)
+        assert "bus_replay" in text
+        assert "secddr" in text
+
+    def test_result_describe(self, results):
+        assert "->" in results[0].describe()

@@ -1,0 +1,188 @@
+"""Tests for the set-associative cache, replacement policies and prefetcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import AccessOutcome, Cache, CacheConfig
+from repro.cache.prefetcher import StreamPrefetcher
+from repro.cache.replacement import LRUPolicy, RandomPolicy
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=128 * 1024, line_bytes=64, associativity=8)
+        assert config.num_lines == 2048
+        assert config.num_sets == 256
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=8)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        outcome, _ = cache.access(0x1000)
+        assert outcome is AccessOutcome.MISS
+        outcome, _ = cache.access(0x1000)
+        assert outcome is AccessOutcome.HIT
+
+    def test_same_line_different_offsets_hit(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        cache.access(0x1000)
+        outcome, _ = cache.access(0x103F)
+        assert outcome is AccessOutcome.HIT
+
+    def test_probe_does_not_allocate(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        assert not cache.probe(0x1000)
+        outcome, _ = cache.access(0x1000)
+        assert outcome is AccessOutcome.MISS
+        assert cache.probe(0x1000)
+
+    def test_eviction_on_full_set(self):
+        config = CacheConfig(size_bytes=4096, associativity=4)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        # Fill one set beyond its associativity.
+        for i in range(5):
+            cache.access(i * stride)
+        assert cache.stats.evictions == 1
+        # The oldest line was evicted.
+        outcome, _ = cache.access(0)
+        assert outcome is AccessOutcome.MISS
+
+    def test_lru_keeps_recently_used(self):
+        config = CacheConfig(size_bytes=4096, associativity=4)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        for i in range(4):
+            cache.access(i * stride)
+        cache.access(0)  # refresh line 0
+        cache.access(4 * stride)  # evicts line 1 (LRU), not line 0
+        assert cache.probe(0)
+        assert not cache.probe(1 * stride)
+
+    def test_dirty_eviction_returns_writeback_address(self):
+        config = CacheConfig(size_bytes=4096, associativity=4)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        cache.access(0, is_write=True)
+        writeback = None
+        for i in range(1, 5):
+            _, wb = cache.access(i * stride)
+            if wb is not None:
+                writeback = wb
+        assert writeback == 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        config = CacheConfig(size_bytes=4096, associativity=4)
+        cache = Cache(config)
+        stride = config.num_sets * config.line_bytes
+        for i in range(5):
+            _, wb = cache.access(i * stride)
+            assert wb is None
+
+    def test_invalidate(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        cache.access(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.probe(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_flush_dirty_lines(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        cache.access(0x1000, is_write=True)
+        cache.access(0x2000, is_write=False)
+        flushed = cache.flush_dirty_lines()
+        assert flushed == [0x1000]
+        # Second flush finds nothing dirty.
+        assert cache.flush_dirty_lines() == []
+
+    def test_hit_and_miss_rates(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_occupancy(self):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        for i in range(10):
+            cache.access(i * 64)
+        assert cache.occupancy() == 10
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_most_recent_access_always_resident(self, addresses):
+        cache = Cache(CacheConfig(size_bytes=4096, associativity=4))
+        for address in addresses:
+            cache.access(address)
+        assert cache.probe(addresses[-1])
+
+    @given(addresses=st.lists(st.integers(min_value=0, max_value=2**18), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        config = CacheConfig(size_bytes=2048, associativity=2)
+        cache = Cache(config)
+        for address in addresses:
+            cache.access(address)
+        assert cache.occupancy() <= config.num_lines
+
+
+class TestRandomPolicy:
+    def test_prefers_empty_ways(self):
+        policy = RandomPolicy(seed=1)
+        assert policy.choose_victim(0, occupied_ways=[0, 1], num_ways=4) in (2, 3)
+
+    def test_evicts_occupied_when_full(self):
+        policy = RandomPolicy(seed=1)
+        assert policy.choose_victim(0, occupied_ways=[0, 1, 2, 3], num_ways=4) in (0, 1, 2, 3)
+
+
+class TestLruPolicyDirect:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        for way in range(4):
+            policy.on_access(0, way)
+        policy.on_access(0, 0)
+        assert policy.choose_victim(0, occupied_ways=[0, 1, 2, 3], num_ways=4) == 1
+
+
+class TestStreamPrefetcher:
+    def test_trains_on_sequential_stream(self):
+        prefetcher = StreamPrefetcher(train_threshold=2, degree=2)
+        issued = []
+        for i in range(5):
+            issued.extend(prefetcher.observe_miss(i * 64))
+        assert prefetcher.stats.trainings > 0
+        assert issued
+
+    def test_random_stream_does_not_train(self):
+        prefetcher = StreamPrefetcher(train_threshold=2, degree=2)
+        issued = []
+        for address in (0, 0x10000, 0x5000, 0x90000):
+            issued.extend(prefetcher.observe_miss(address))
+        assert issued == []
+
+    def test_covers_consumes_prefetch(self):
+        prefetcher = StreamPrefetcher(train_threshold=1, degree=4)
+        issued = []
+        for i in range(3):
+            issued.extend(prefetcher.observe_miss(i * 64))
+        target = issued[0]
+        assert prefetcher.covers(target)
+        # A prefetch is only useful once.
+        assert not prefetcher.covers(target)
+        assert prefetcher.stats.useful_prefetches == 1
+
+    def test_accuracy_metric(self):
+        prefetcher = StreamPrefetcher(train_threshold=1, degree=2)
+        issued = []
+        for i in range(4):
+            issued.extend(prefetcher.observe_miss(i * 64))
+        for address in issued[:2]:
+            prefetcher.covers(address)
+        assert 0.0 < prefetcher.stats.accuracy <= 1.0

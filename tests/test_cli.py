@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.baseline == "tdx_baseline"
+        assert args.cores == 2
+
+    def test_compare_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "-w", "pr,mcf", "-c", "secddr_xts", "-a", "200", "-n", "1"]
+        )
+        assert args.workloads == "pr,mcf"
+        assert args.accesses == 200
+
+
+class TestCommands:
+    def test_configs_lists_all(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "secddr_xts" in out
+        assert "integrity_tree_64" in out
+
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "sssp" in out
+
+    def test_power_table(self, capsys):
+        assert main(["power"]) == 0
+        assert "x8 8Gb" in capsys.readouterr().out
+
+    def test_security_report(self, capsys):
+        assert main(["security"]) == 0
+        assert "counter_overflow_years" in capsys.readouterr().out
+
+    def test_scalability_table(self, capsys):
+        assert main(["scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "1024 GiB" in out
+
+    def test_attack_matrix(self, capsys):
+        assert main(["attack"]) == 0
+        out = capsys.readouterr().out
+        assert "bus_replay" in out
+        assert "detected" in out
+
+    def test_compare_small_run(self, capsys):
+        exit_code = main([
+            "compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out
+        assert "gmean" in out

@@ -1,0 +1,75 @@
+"""Tests for boot-time attestation and channel provisioning."""
+
+import pytest
+
+from repro.core.attestation import attest_and_provision, provision_rank_identity
+from repro.core.config import SecDDRConfig
+from repro.core.dimm_logic import EccChipLogic
+from repro.core.processor_engine import ProcessorEngine
+from repro.crypto.keyexchange import AttestationError, CertificateAuthority
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.storage import DramStorage
+
+
+def _platform(num_ranks=2):
+    config = SecDDRConfig()
+    mapping = AddressMapping()
+    storage = DramStorage()
+    processor = ProcessorEngine(config=config, mapping=mapping)
+    chips = {r: EccChipLogic(r, storage, mapping, config) for r in range(num_ranks)}
+    ca = CertificateAuthority()
+    identities = {r: provision_rank_identity(r, ca) for r in range(num_ranks)}
+    return processor, chips, storage, ca, identities
+
+
+class TestAttestation:
+    def test_provisions_every_rank(self):
+        processor, chips, _, ca, identities = _platform()
+        result = attest_and_provision(processor, chips, identities, ca, initial_counter=0)
+        assert result.ranks == [0, 1]
+        assert len(result.transaction_keys) == 2
+
+    def test_processor_and_dimm_share_kt_and_ct(self):
+        processor, chips, _, ca, identities = _platform()
+        attest_and_provision(processor, chips, identities, ca, initial_counter=5)
+        for rank, chip in chips.items():
+            assert processor.counter_for_rank(rank).in_sync_with(chip.counter)
+
+    def test_memory_cleared_at_boot(self):
+        processor, chips, storage, ca, identities = _platform()
+        storage.write_line(0x1000, b"\xaa" * 64, bytes(8))
+        result = attest_and_provision(processor, chips, identities, ca)
+        assert result.memory_cleared
+        assert storage.occupied_lines() == 0
+
+    def test_memory_preserved_when_not_cleared(self):
+        processor, chips, storage, ca, identities = _platform()
+        storage.write_line(0x1000, b"\xaa" * 64, bytes(8))
+        attest_and_provision(processor, chips, identities, ca, clear_memory=False)
+        assert storage.occupied_lines() == 1
+
+    def test_random_initial_counters_differ_between_ranks(self):
+        processor, chips, _, ca, identities = _platform()
+        result = attest_and_provision(processor, chips, identities, ca)
+        # Random 63-bit values: astronomically unlikely to collide.
+        assert result.initial_counters[0] != result.initial_counters[1]
+
+    def test_missing_identity_rejected(self):
+        processor, chips, _, ca, identities = _platform()
+        del identities[1]
+        with pytest.raises(AttestationError):
+            attest_and_provision(processor, chips, identities, ca)
+
+    def test_counterfeit_dimm_rejected(self):
+        # Certificates issued by a different CA (counterfeit module) fail.
+        processor, chips, _, ca, _ = _platform()
+        rogue_ca = CertificateAuthority("rogue")
+        rogue_identities = {r: provision_rank_identity(r, rogue_ca) for r in chips}
+        with pytest.raises(AttestationError):
+            attest_and_provision(processor, chips, rogue_identities, ca)
+
+    def test_revoked_dimm_rejected(self):
+        processor, chips, _, ca, identities = _platform()
+        ca.revoke(identities[0].certificate.subject)
+        with pytest.raises(AttestationError):
+            attest_and_provision(processor, chips, identities, ca)

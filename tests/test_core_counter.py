@@ -1,0 +1,112 @@
+"""Tests for the per-rank transaction counter and its parity rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transaction_counter import TransactionCounter
+
+
+class TestParityRule:
+    def test_reads_use_even_values(self):
+        counter = TransactionCounter(parity_rule=True)
+        for _ in range(10):
+            assert counter.next_read() % 2 == 0
+
+    def test_writes_use_odd_values(self):
+        counter = TransactionCounter(parity_rule=True)
+        for _ in range(10):
+            assert counter.next_write() % 2 == 1
+
+    def test_values_never_repeat(self):
+        counter = TransactionCounter(parity_rule=True)
+        values = []
+        for i in range(50):
+            values.append(counter.next_read() if i % 3 else counter.next_write())
+        assert len(set(values)) == len(values)
+
+    def test_values_strictly_increase(self):
+        counter = TransactionCounter(parity_rule=True)
+        values = [counter.next_write(), counter.next_read(), counter.next_write(), counter.next_read()]
+        assert values == sorted(values)
+
+    def test_odd_initial_value_normalized(self):
+        counter = TransactionCounter(initial_value=7, parity_rule=True)
+        assert counter.next_read() % 2 == 0
+
+    @given(ops=st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_two_synchronized_copies_agree(self, ops):
+        # Both endpoints apply the same sequence of transaction types and must
+        # generate identical counter values throughout.
+        processor = TransactionCounter(initial_value=100, parity_rule=True)
+        dimm = TransactionCounter(initial_value=100, parity_rule=True)
+        for is_write in ops:
+            if is_write:
+                assert processor.next_write() == dimm.next_write()
+            else:
+                assert processor.next_read() == dimm.next_read()
+        assert processor.in_sync_with(dimm)
+
+
+class TestDesynchronizationProperties:
+    def test_dropped_write_desynchronizes(self):
+        # Section III-B: dropping a write causes a Ct mismatch.
+        processor = TransactionCounter(parity_rule=True)
+        dimm = TransactionCounter(parity_rule=True)
+        processor.next_write()  # the DIMM never saw this transaction
+        assert processor.next_read() != dimm.next_read()
+
+    def test_command_conversion_desynchronizes_with_parity(self):
+        # Section III-B: converting a write to a read is caught by the
+        # even/odd assignment.
+        processor = TransactionCounter(parity_rule=True)
+        dimm = TransactionCounter(parity_rule=True)
+        processor.next_write()
+        dimm.next_read()  # the attacker converted the command
+        assert processor.next_read() != dimm.next_read()
+
+    def test_command_conversion_undetected_without_parity(self):
+        # The gap the parity rule closes: with a plain per-transaction
+        # counter the conversion keeps the copies in sync.
+        processor = TransactionCounter(parity_rule=False)
+        dimm = TransactionCounter(parity_rule=False)
+        processor.next_write()
+        dimm.next_read()
+        assert processor.next_read() == dimm.next_read()
+
+    def test_dropped_write_desynchronizes_without_parity_too(self):
+        processor = TransactionCounter(parity_rule=False)
+        dimm = TransactionCounter(parity_rule=False)
+        processor.next_write()
+        assert processor.next_read() != dimm.next_read()
+
+
+class TestCounterMechanics:
+    def test_transactions_counted(self):
+        counter = TransactionCounter()
+        counter.next_read()
+        counter.next_write()
+        assert counter.transactions == 2
+
+    def test_wraps_at_modulus(self):
+        counter = TransactionCounter(initial_value=2**16 - 4, counter_bits=16)
+        for _ in range(10):
+            assert counter.next_read() < 2**16
+
+    def test_snapshot_restore(self):
+        counter = TransactionCounter()
+        counter.next_write()
+        state = counter.snapshot()
+        counter.next_read()
+        counter.restore(state)
+        fresh = TransactionCounter()
+        fresh.next_write()
+        assert counter.value == fresh.value
+
+    def test_in_sync_with(self):
+        a = TransactionCounter()
+        b = TransactionCounter()
+        assert a.in_sync_with(b)
+        a.next_read()
+        assert not a.in_sync_with(b)

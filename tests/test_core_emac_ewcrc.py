@@ -1,0 +1,107 @@
+"""Tests for E-MAC encryption and the encrypted eWCRC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emac import encrypt_mac, recover_mac
+from repro.core.ewcrc import make_encrypted_ewcrc, pack_write_address, verify_encrypted_ewcrc
+
+KT = bytes(range(16))
+
+
+class TestEmac:
+    def test_round_trip(self):
+        mac = bytes(range(8))
+        emac = encrypt_mac(mac, KT, transaction_counter=10)
+        assert emac != mac
+        assert recover_mac(emac, KT, transaction_counter=10) == mac
+
+    def test_temporal_uniqueness(self):
+        # The same stored MAC never crosses the bus twice with the same bits.
+        mac = bytes(8)
+        assert encrypt_mac(mac, KT, 2) != encrypt_mac(mac, KT, 4)
+
+    def test_wrong_counter_recovers_garbage(self):
+        mac = bytes(range(8))
+        emac = encrypt_mac(mac, KT, 2)
+        assert recover_mac(emac, KT, 4) != mac
+
+    def test_wrong_key_recovers_garbage(self):
+        mac = bytes(range(8))
+        emac = encrypt_mac(mac, KT, 2)
+        assert recover_mac(emac, bytes(16), 2) != mac
+
+    def test_replayed_emac_fails_under_new_counter(self):
+        # The core replay-defense property (Section III-A): an E-MAC captured
+        # under an old counter does not decrypt to the right MAC later.
+        mac_t0 = bytes(range(8))
+        emac_t0 = encrypt_mac(mac_t0, KT, transaction_counter=2)
+        recovered_at_t2 = recover_mac(emac_t0, KT, transaction_counter=6)
+        assert recovered_at_t2 != mac_t0
+
+    @given(
+        mac=st.binary(min_size=8, max_size=8),
+        counter=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, mac, counter):
+        assert recover_mac(encrypt_mac(mac, KT, counter), KT, counter) == mac
+
+
+class TestEncryptedEwcrc:
+    ADDRESS = dict(rank=0, bank_group=1, bank=2, row=0x1234, column=0x10)
+
+    def test_verify_accepts_untampered_write(self):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        assert verify_encrypted_ewcrc(crc, payload, KT, 3, **self.ADDRESS)
+
+    def test_verify_rejects_corrupted_row(self):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        corrupted = dict(self.ADDRESS, row=0x1235)
+        assert not verify_encrypted_ewcrc(crc, payload, KT, 3, **corrupted)
+
+    def test_verify_rejects_corrupted_column(self):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        corrupted = dict(self.ADDRESS, column=0x11)
+        assert not verify_encrypted_ewcrc(crc, payload, KT, 3, **corrupted)
+
+    def test_verify_rejects_corrupted_payload(self):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        assert not verify_encrypted_ewcrc(crc, bytes(8), KT, 3, **self.ADDRESS)
+
+    def test_verify_rejects_wrong_counter(self):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        assert not verify_encrypted_ewcrc(crc, payload, KT, 5, **self.ADDRESS)
+
+    def test_crc_is_encrypted_on_the_bus(self):
+        # The transmitted value is not the plain CRC of the payload/address.
+        payload = bytes(range(8))
+        encrypted = make_encrypted_ewcrc(payload, KT, 3, **self.ADDRESS)
+        plain = make_encrypted_ewcrc(payload, bytes(16), 0, **self.ADDRESS)
+        assert encrypted != plain
+
+    def test_pack_write_address_distinguishes_fields(self):
+        base = pack_write_address(0, 1, 2, 0x1234, 0x10)
+        assert pack_write_address(1, 1, 2, 0x1234, 0x10) != base
+        assert pack_write_address(0, 2, 2, 0x1234, 0x10) != base
+        assert pack_write_address(0, 1, 3, 0x1234, 0x10) != base
+        assert pack_write_address(0, 1, 2, 0x1235, 0x10) != base
+        assert pack_write_address(0, 1, 2, 0x1234, 0x11) != base
+
+    @given(
+        row_offset=st.integers(min_value=1, max_value=1000),
+        counter=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_redirected_rows_always_detected(self, row_offset, counter):
+        payload = bytes(range(8))
+        crc = make_encrypted_ewcrc(payload, KT, counter, rank=0, bank_group=0, bank=0, row=100, column=0)
+        assert not verify_encrypted_ewcrc(
+            crc, payload, KT, counter, rank=0, bank_group=0, bank=0, row=100 + row_offset, column=0
+        )

@@ -1,0 +1,168 @@
+"""Tests for the processor engine and the ECC-chip (DIMM) logic."""
+
+import pytest
+
+from repro.core.config import SecDDRConfig
+from repro.core.dimm_logic import EccChipLogic, WriteRejected
+from repro.core.processor_engine import ProcessorEngine
+from repro.core.protocol import IntegrityViolation, ReadResponse
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.storage import DramStorage
+
+KT = bytes(range(16))
+LINE = bytes(range(64))
+ADDRESS = 0x40000
+
+
+def _provisioned_pair(config=None):
+    config = config or SecDDRConfig()
+    mapping = AddressMapping()
+    storage = DramStorage()
+    processor = ProcessorEngine(config=config, mapping=mapping)
+    chips = {
+        rank: EccChipLogic(rank, storage, mapping, config) for rank in range(2)
+    }
+    if config.emac_enabled:
+        for rank, chip in chips.items():
+            processor.install_rank_channel(rank, KT, 0)
+            chip.install_channel(KT, 0)
+    return processor, chips, storage, mapping
+
+
+class TestProcessorEngineCrypto:
+    def test_encrypt_decrypt_line(self):
+        processor, _, _, _ = _provisioned_pair()
+        ciphertext = processor.encrypt_line(ADDRESS, LINE)
+        assert ciphertext != LINE
+        assert processor.decrypt_line(ADDRESS, ciphertext) == LINE
+
+    def test_mac_binds_address_and_data(self):
+        processor, _, _, _ = _provisioned_pair()
+        ct = processor.encrypt_line(ADDRESS, LINE)
+        assert processor.compute_mac(ADDRESS, ct) != processor.compute_mac(ADDRESS + 64, ct)
+
+    def test_rejects_wrong_line_size(self):
+        processor, _, _, _ = _provisioned_pair()
+        with pytest.raises(ValueError):
+            processor.encrypt_line(ADDRESS, bytes(32))
+
+    def test_unattested_rank_rejected(self):
+        processor = ProcessorEngine()
+        with pytest.raises(RuntimeError):
+            processor.make_write(ADDRESS, LINE)
+
+    def test_install_rejects_short_key(self):
+        processor = ProcessorEngine()
+        with pytest.raises(ValueError):
+            processor.install_rank_channel(0, b"short", 0)
+
+
+class TestWritePath:
+    def test_write_transaction_carries_emac_and_ewcrc(self):
+        processor, _, _, _ = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        assert txn.encrypted_ewcrc is not None
+        mac = processor.compute_mac(ADDRESS, txn.ciphertext)
+        # The ECC payload on the bus is not the plain MAC.
+        assert txn.ecc_payload != mac
+
+    def test_baseline_write_carries_plain_mac(self):
+        processor, _, _, _ = _provisioned_pair(SecDDRConfig.baseline_no_rap())
+        txn = processor.make_write(ADDRESS, LINE)
+        assert txn.encrypted_ewcrc is None
+        assert txn.ecc_payload == processor.compute_mac(ADDRESS, txn.ciphertext)
+
+    def test_dimm_stores_plain_mac_at_rest(self):
+        processor, chips, storage, mapping = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        chips[txn.command.rank].handle_write(txn)
+        stored = storage.read_line(mapping.line_address(ADDRESS))
+        assert stored.ecc_payload == processor.compute_mac(ADDRESS, txn.ciphertext)
+
+    def test_dimm_rejects_redirected_write(self):
+        processor, chips, _, _ = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        redirected = txn.with_command(txn.command.redirected(row=txn.command.row + 1))
+        with pytest.raises(WriteRejected):
+            chips[txn.command.rank].handle_write(redirected)
+        assert chips[txn.command.rank].writes_rejected == 1
+
+    def test_dimm_rejects_missing_ewcrc(self):
+        processor, chips, _, _ = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        stripped = type(txn)(
+            command=txn.command, ciphertext=txn.ciphertext, ecc_payload=txn.ecc_payload
+        )
+        with pytest.raises(WriteRejected):
+            chips[txn.command.rank].handle_write(stripped)
+
+    def test_redirected_write_committed_without_ewcrc(self):
+        # Without eWCRC the misdirected write silently lands at the wrong row.
+        config = SecDDRConfig(ewcrc_enabled=False)
+        processor, chips, storage, mapping = _provisioned_pair(config)
+        txn = processor.make_write(ADDRESS, LINE)
+        redirected = txn.with_command(txn.command.redirected(row=txn.command.row + 1))
+        landed_at = chips[txn.command.rank].handle_write(redirected)
+        assert landed_at != mapping.line_address(ADDRESS)
+        assert storage.read_line(mapping.line_address(ADDRESS)).data == bytes(64)
+
+
+class TestReadPath:
+    def test_end_to_end_write_read(self):
+        processor, chips, _, _ = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        chips[txn.command.rank].handle_write(txn)
+        command = processor.make_read_command(ADDRESS)
+        response = chips[command.rank].handle_read(command)
+        assert processor.verify_read(ADDRESS, response) == LINE
+
+    def test_tampered_data_detected(self):
+        processor, chips, _, _ = _provisioned_pair()
+        txn = processor.make_write(ADDRESS, LINE)
+        chips[txn.command.rank].handle_write(txn)
+        command = processor.make_read_command(ADDRESS)
+        response = chips[command.rank].handle_read(command)
+        flipped = bytearray(response.ciphertext)
+        flipped[5] ^= 0x40
+        tampered = ReadResponse(command=command, ciphertext=bytes(flipped), ecc_payload=response.ecc_payload)
+        with pytest.raises(IntegrityViolation):
+            processor.verify_read(ADDRESS, tampered)
+        assert processor.violations_detected == 1
+
+    def test_unwritten_line_fails_verification(self):
+        # Reading a never-written (all-zero) line does not produce a valid MAC.
+        processor, chips, _, _ = _provisioned_pair()
+        command = processor.make_read_command(ADDRESS)
+        response = chips[command.rank].handle_read(command)
+        with pytest.raises(IntegrityViolation):
+            processor.verify_read(ADDRESS, response)
+
+    def test_per_rank_counters_are_independent(self):
+        processor, chips, mapping = None, None, None
+        processor, chips, _, mapping = _provisioned_pair()
+        # Find one address per rank.
+        rank0_address = ADDRESS
+        rank1_address = None
+        for candidate in range(0, 1 << 22, 64):
+            if mapping.decode(candidate).rank == 1:
+                rank1_address = candidate
+                break
+        assert rank1_address is not None
+        txn0 = processor.make_write(rank0_address, LINE)
+        chips[0].handle_write(txn0)
+        txn1 = processor.make_write(rank1_address, LINE)
+        chips[1].handle_write(txn1)
+        assert chips[0].counter.value != 0
+        assert chips[1].counter.value != 0
+        # Reads verify on both ranks independently.
+        for address, rank in ((rank0_address, 0), (rank1_address, 1)):
+            response = chips[rank].handle_read(processor.make_read_command(address))
+            assert processor.verify_read(address, response) == LINE
+
+    def test_unattested_dimm_read_rejected(self):
+        config = SecDDRConfig()
+        chip = EccChipLogic(0, DramStorage(), AddressMapping(), config)
+        processor = ProcessorEngine(config=config)
+        processor.install_rank_channel(0, KT, 0)
+        with pytest.raises(RuntimeError):
+            chip.handle_read(processor.make_read_command(ADDRESS))

@@ -1,0 +1,140 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.cpu.core import Core, CoreConfig
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+
+class FixedLatencyMemory:
+    """Memory stub with a constant DRAM latency, recording issued requests."""
+
+    def __init__(self, latency_dram_cycles: float = 50.0, extra_cpu: float = 0.0):
+        self.latency = latency_dram_cycles
+        self.extra_cpu = extra_cpu
+        self.reads = []
+        self.writes = []
+
+    def read(self, address, dram_cycle):
+        self.reads.append((address, dram_cycle))
+        return dram_cycle + self.latency, self.extra_cpu
+
+    def write(self, address, dram_cycle):
+        self.writes.append((address, dram_cycle))
+
+
+def _read_trace(n, gap=100, stride=64):
+    return MemoryTrace("reads", [TraceRecord(gap, False, i * stride) for i in range(n)])
+
+
+class TestCoreConfig:
+    def test_frequency_conversion(self):
+        config = CoreConfig(cpu_freq_mhz=3200, dram_freq_mhz=1600)
+        assert config.cpu_cycles_per_dram_cycle == 2.0
+        assert config.dram_to_cpu(100) == 200
+        assert config.cpu_to_dram(200) == 100
+
+
+class TestCoreExecution:
+    def test_runs_trace_to_completion(self):
+        core = Core(0, _read_trace(10), CoreConfig())
+        memory = FixedLatencyMemory()
+        while not core.done:
+            core.step(memory)
+        result = core.finalize()
+        assert result.reads == 10
+        assert result.instructions == 10 * 100
+        assert result.cycles > 0
+        assert len(memory.reads) == 10
+
+    def test_writes_do_not_stall(self):
+        reads = MemoryTrace("r", [TraceRecord(100, False, i * 64) for i in range(5)])
+        writes = MemoryTrace("w", [TraceRecord(100, True, i * 64) for i in range(5)])
+        slow_memory = FixedLatencyMemory(latency_dram_cycles=1000)
+        read_core = Core(0, reads, CoreConfig(mshr_entries=1))
+        write_core = Core(0, writes, CoreConfig(mshr_entries=1))
+        while not read_core.done:
+            read_core.step(slow_memory)
+        while not write_core.done:
+            write_core.step(FixedLatencyMemory(latency_dram_cycles=1000))
+        assert write_core.finalize().cycles < read_core.finalize().cycles
+
+    def test_higher_memory_latency_lowers_ipc(self):
+        fast = Core(0, _read_trace(20), CoreConfig())
+        slow = Core(0, _read_trace(20), CoreConfig())
+        fast_memory = FixedLatencyMemory(latency_dram_cycles=20)
+        slow_memory = FixedLatencyMemory(latency_dram_cycles=400)
+        while not fast.done:
+            fast.step(fast_memory)
+        while not slow.done:
+            slow.step(slow_memory)
+        assert fast.finalize().ipc > slow.finalize().ipc
+
+    def test_extra_cpu_cycles_lower_ipc(self):
+        baseline = Core(0, _read_trace(20), CoreConfig())
+        crypto = Core(0, _read_trace(20), CoreConfig())
+        plain_memory = FixedLatencyMemory(latency_dram_cycles=50, extra_cpu=0)
+        crypto_memory = FixedLatencyMemory(latency_dram_cycles=50, extra_cpu=200)
+        while not baseline.done:
+            baseline.step(plain_memory)
+        while not crypto.done:
+            crypto.step(crypto_memory)
+        assert baseline.finalize().ipc > crypto.finalize().ipc
+
+    def test_mshr_limit_restricts_overlap(self):
+        # With a tight instruction gap the MSHR limit forces serialization.
+        trace = _read_trace(30, gap=1)
+        wide = Core(0, trace, CoreConfig(mshr_entries=16))
+        narrow = Core(0, trace, CoreConfig(mshr_entries=1))
+        memory_a = FixedLatencyMemory(latency_dram_cycles=200)
+        memory_b = FixedLatencyMemory(latency_dram_cycles=200)
+        while not wide.done:
+            wide.step(memory_a)
+        while not narrow.done:
+            narrow.step(memory_b)
+        assert wide.finalize().cycles < narrow.finalize().cycles
+
+    def test_rob_limit_restricts_runahead(self):
+        # Misses far apart in instructions cannot overlap within the ROB.
+        far_apart = _read_trace(10, gap=1000)
+        close_together = _read_trace(10, gap=10)
+        far_core = Core(0, far_apart, CoreConfig(rob_entries=224))
+        close_core = Core(0, close_together, CoreConfig(rob_entries=224))
+        memory_a = FixedLatencyMemory(latency_dram_cycles=300)
+        memory_b = FixedLatencyMemory(latency_dram_cycles=300)
+        while not far_core.done:
+            far_core.step(memory_a)
+        while not close_core.done:
+            close_core.step(memory_b)
+        far_result = far_core.finalize()
+        close_result = close_core.finalize()
+        # Per-miss penalty (cycles per read) is higher when misses cannot
+        # overlap; normalize by reads to compare.
+        assert far_result.cycles / far_result.reads > 0
+        assert close_result.cycles / close_result.reads < far_result.cycles / far_result.reads + 1000
+
+    def test_next_issue_cycle_is_stable(self):
+        core = Core(0, _read_trace(5), CoreConfig())
+        first = core.next_issue_cycle()
+        second = core.next_issue_cycle()
+        assert first == second
+
+    def test_step_past_end_raises(self):
+        core = Core(0, _read_trace(1), CoreConfig())
+        core.step(FixedLatencyMemory())
+        with pytest.raises(RuntimeError):
+            core.step(FixedLatencyMemory())
+
+    def test_ipc_bounded_by_issue_width(self):
+        core = Core(0, _read_trace(10), CoreConfig(issue_width=6))
+        memory = FixedLatencyMemory(latency_dram_cycles=0)
+        while not core.done:
+            core.step(memory)
+        assert core.finalize().ipc <= 6.0 + 1e-9
+
+    def test_empty_trace(self):
+        core = Core(0, MemoryTrace("empty", []), CoreConfig())
+        assert core.done
+        result = core.finalize()
+        assert result.instructions == 0
+        assert result.ipc == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the multi-core system model."""
+
+import pytest
+
+from repro.cpu.core import CoreConfig
+from repro.cpu.system import System, SystemConfig
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+
+class CountingMemory:
+    """Memory stub that counts accesses and applies a fixed latency."""
+
+    def __init__(self, latency=50.0):
+        self.latency = latency
+        self.read_count = 0
+        self.write_count = 0
+        self.addresses = []
+
+    def read(self, address, dram_cycle):
+        self.read_count += 1
+        self.addresses.append(address)
+        return dram_cycle + self.latency, 0.0
+
+    def write(self, address, dram_cycle):
+        self.write_count += 1
+        self.addresses.append(address)
+
+    def collect_stats(self):
+        return {"reads": float(self.read_count), "writes": float(self.write_count)}
+
+
+def _trace(n=20, gap=100):
+    records = []
+    for i in range(n):
+        records.append(TraceRecord(gap, i % 4 == 3, i * 64))
+    return MemoryTrace("toy", records)
+
+
+class TestSystem:
+    def test_runs_all_cores(self):
+        memory = CountingMemory()
+        system = System(_trace(), memory, SystemConfig(num_cores=4, enable_prefetcher=False))
+        result = system.run()
+        assert len(result.core_results) == 4
+        assert result.total_instructions == 4 * _trace().total_instructions
+        assert result.total_ipc > 0
+
+    def test_cores_use_disjoint_address_regions(self):
+        memory = CountingMemory()
+        config = SystemConfig(num_cores=2, enable_prefetcher=False, per_core_address_stride=1 << 20)
+        System(_trace(), memory, config).run()
+        low = [a for a in memory.addresses if a < (1 << 20)]
+        high = [a for a in memory.addresses if a >= (1 << 20)]
+        assert low and high
+
+    def test_memory_stats_collected(self):
+        memory = CountingMemory()
+        result = System(_trace(), memory, SystemConfig(num_cores=1, enable_prefetcher=False)).run()
+        assert result.memory_stats["reads"] == memory.read_count
+
+    def test_single_core_ipc_matches_total(self):
+        memory = CountingMemory()
+        result = System(_trace(), memory, SystemConfig(num_cores=1, enable_prefetcher=False)).run()
+        assert result.total_ipc == pytest.approx(result.core_results[0].ipc)
+
+    def test_prefetcher_reduces_latency_for_streaming(self):
+        streaming = MemoryTrace(
+            "stream", [TraceRecord(50, False, i * 64) for i in range(200)]
+        )
+        with_pf = System(
+            streaming, CountingMemory(latency=200), SystemConfig(num_cores=1, enable_prefetcher=True)
+        ).run()
+        without_pf = System(
+            streaming, CountingMemory(latency=200), SystemConfig(num_cores=1, enable_prefetcher=False)
+        ).run()
+        assert with_pf.average_read_latency <= without_pf.average_read_latency
+
+    def test_more_cores_increase_total_ipc(self):
+        one = System(_trace(), CountingMemory(), SystemConfig(num_cores=1, enable_prefetcher=False)).run()
+        four = System(_trace(), CountingMemory(), SystemConfig(num_cores=4, enable_prefetcher=False)).run()
+        assert four.total_ipc > one.total_ipc
+
+    def test_average_read_latency_positive(self):
+        result = System(_trace(), CountingMemory(), SystemConfig(num_cores=2, enable_prefetcher=False)).run()
+        assert result.average_read_latency > 0

@@ -1,0 +1,78 @@
+"""Tests for the memory-trace format."""
+
+import pytest
+
+from repro.cpu.trace import MemoryTrace, TraceRecord
+
+
+class TestTraceRecord:
+    def test_valid_record(self):
+        record = TraceRecord(instruction_gap=10, is_write=False, address=0x1000)
+        assert record.instruction_gap == 10
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(instruction_gap=-1, is_write=False, address=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(instruction_gap=0, is_write=False, address=-64)
+
+
+class TestMemoryTrace:
+    def _trace(self):
+        return MemoryTrace(
+            "test",
+            [
+                TraceRecord(100, False, 0x0),
+                TraceRecord(50, True, 0x40),
+                TraceRecord(150, False, 0x80),
+                TraceRecord(200, False, 0x0),
+            ],
+        )
+
+    def test_counts(self):
+        trace = self._trace()
+        assert len(trace) == 4
+        assert trace.total_accesses == 4
+        assert trace.read_count == 3
+        assert trace.write_count == 1
+        assert trace.write_fraction == pytest.approx(0.25)
+
+    def test_total_instructions(self):
+        assert self._trace().total_instructions == 500
+
+    def test_mpki_counts_reads_only(self):
+        trace = self._trace()
+        assert trace.mpki == pytest.approx(1000.0 * 3 / 500)
+
+    def test_footprint_counts_distinct_lines(self):
+        assert self._trace().footprint_bytes == 3 * 64
+
+    def test_offset_shifts_addresses(self):
+        trace = self._trace()
+        shifted = trace.offset(1 << 32)
+        assert shifted[0].address == (1 << 32)
+        assert shifted.total_instructions == trace.total_instructions
+        # Original is untouched.
+        assert trace[0].address == 0
+
+    def test_truncated(self):
+        assert len(self._trace().truncated(2)) == 2
+
+    def test_merged(self):
+        trace = self._trace()
+        merged = MemoryTrace.merged("mix", [trace, trace])
+        assert len(merged) == 8
+        assert merged.name == "mix"
+
+    def test_empty_trace_metrics(self):
+        empty = MemoryTrace("empty", [])
+        assert empty.mpki == 0.0
+        assert empty.write_fraction == 0.0
+        assert empty.total_instructions == 0
+
+    def test_iteration_and_indexing(self):
+        trace = self._trace()
+        assert list(trace)[0] is trace[0]
+        assert trace.records[1].is_write

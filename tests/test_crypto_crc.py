@@ -1,0 +1,86 @@
+"""Tests for the CRC-16 WCRC / eWCRC primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crc import crc16, ewcrc, wcrc
+
+
+class TestCrc16:
+    def test_known_value_check_string(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_crc_is_16_bits(self):
+        for data in (b"", b"a", b"hello world" * 10):
+            assert 0 <= crc16(data) <= 0xFFFF
+
+    def test_crc_detects_single_bit_flip(self):
+        data = bytes(range(32))
+        for byte_index in range(len(data)):
+            for bit in range(8):
+                tampered = bytearray(data)
+                tampered[byte_index] ^= 1 << bit
+                assert crc16(bytes(tampered)) != crc16(data)
+
+    def test_crc_detects_short_burst_errors(self):
+        data = bytes(64)
+        for start in range(0, 62):
+            tampered = bytearray(data)
+            tampered[start] ^= 0xFF
+            tampered[start + 1] ^= 0xFF
+            assert crc16(bytes(tampered)) != crc16(data)
+
+    @given(data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_crc_deterministic(self, data):
+        assert crc16(data) == crc16(data)
+
+
+class TestWcrc:
+    def test_wcrc_matches_crc16(self):
+        chip_data = bytes(range(8))
+        assert wcrc(chip_data) == crc16(chip_data)
+
+
+class TestEwcrc:
+    def test_ewcrc_includes_address_fields(self):
+        payload = bytes(8)
+        base = ewcrc(payload, rank=0, bank_group=0, bank=0, row=10, column=5)
+        assert ewcrc(payload, rank=1, bank_group=0, bank=0, row=10, column=5) != base
+        assert ewcrc(payload, rank=0, bank_group=1, bank=0, row=10, column=5) != base
+        assert ewcrc(payload, rank=0, bank_group=0, bank=1, row=10, column=5) != base
+        assert ewcrc(payload, rank=0, bank_group=0, bank=0, row=11, column=5) != base
+        assert ewcrc(payload, rank=0, bank_group=0, bank=0, row=10, column=6) != base
+
+    def test_ewcrc_includes_payload(self):
+        assert ewcrc(bytes(8), 0, 0, 0, 1, 1) != ewcrc(bytes([1] * 8), 0, 0, 0, 1, 1)
+
+    def test_ewcrc_detects_misdirected_row(self):
+        # The property Figure 3's defense relies on: a write steered to a
+        # different row produces a CRC that no longer matches.
+        payload = bytes(range(8))
+        intended = ewcrc(payload, 0, 1, 2, row=0x1234, column=8)
+        landed = ewcrc(payload, 0, 1, 2, row=0x1235, column=8)
+        assert intended != landed
+
+    @given(
+        row_a=st.integers(min_value=0, max_value=2**16 - 1),
+        row_b=st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_rows_rarely_collide(self, row_a, row_b):
+        # Not a cryptographic guarantee, but distinct rows must not
+        # systematically produce equal CRCs.
+        payload = bytes(8)
+        if row_a != row_b:
+            crc_a = ewcrc(payload, 0, 0, 0, row_a, 0)
+            crc_b = ewcrc(payload, 0, 0, 0, row_b, 0)
+            # Allow the 2^-16 accidental collision but flag systematic equality
+            # by checking a second differing column when rows collide.
+            if crc_a == crc_b:
+                assert ewcrc(payload, 0, 0, 0, row_a, 1) != ewcrc(payload, 0, 0, 0, row_b, 2)

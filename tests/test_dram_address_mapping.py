@@ -1,0 +1,93 @@
+"""Tests for physical-address decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address_mapping import AddressMapping, DecodedAddress
+
+
+@pytest.fixture
+def mapping() -> AddressMapping:
+    return AddressMapping()
+
+
+class TestGeometry:
+    def test_total_banks_matches_paper(self, mapping):
+        # 1 channel x 2 ranks x 4 bank groups x 4 banks = 32 banks
+        # (16 banks per rank, as in Table I).
+        assert mapping.total_banks == 32
+
+    def test_capacity(self, mapping):
+        # 64B x 1 x 2 x 4 x 4 x 65536 x 128 = 16 GB.
+        assert mapping.capacity_bytes == 16 * 2**30
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            AddressMapping(ranks=3)
+        with pytest.raises(ValueError):
+            AddressMapping(line_bytes=48)
+
+    def test_address_bits_cover_capacity(self, mapping):
+        assert 2**mapping.address_bits == mapping.capacity_bytes
+
+
+class TestDecodeEncode:
+    def test_decode_zero(self, mapping):
+        decoded = mapping.decode(0)
+        assert decoded == DecodedAddress(0, 0, 0, 0, 0, 0)
+
+    def test_line_offset_ignored(self, mapping):
+        assert mapping.decode(0x40) == mapping.decode(0x7F)
+
+    def test_consecutive_lines_spread_over_bank_groups(self, mapping):
+        # Bank-group bits sit just above the line offset for parallelism.
+        groups = {mapping.decode(i * 64).bank_group for i in range(4)}
+        assert len(groups) == 4
+
+    def test_fields_within_range(self, mapping):
+        decoded = mapping.decode(mapping.capacity_bytes - 64)
+        assert decoded.rank < mapping.ranks
+        assert decoded.bank_group < mapping.bank_groups
+        assert decoded.bank < mapping.banks_per_group
+        assert decoded.row < mapping.rows
+        assert decoded.column < mapping.columns_per_row
+
+    def test_negative_address_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.decode(-64)
+
+    def test_encode_rejects_out_of_range_fields(self, mapping):
+        with pytest.raises(ValueError):
+            mapping.encode(DecodedAddress(0, 5, 0, 0, 0, 0))
+
+    def test_line_address_alignment(self, mapping):
+        assert mapping.line_address(0x12345) == 0x12340
+
+    @given(address=st.integers(min_value=0, max_value=16 * 2**30 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_encode_bijection(self, address):
+        mapping = AddressMapping()
+        line_address = mapping.line_address(address)
+        assert mapping.encode(mapping.decode(address)) == line_address
+
+    @given(
+        rank=st.integers(0, 1),
+        bank_group=st.integers(0, 3),
+        bank=st.integers(0, 3),
+        row=st.integers(0, 65535),
+        column=st.integers(0, 127),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_bijection(self, rank, bank_group, bank, row, column):
+        mapping = AddressMapping()
+        decoded = DecodedAddress(0, rank, bank_group, bank, row, column)
+        assert mapping.decode(mapping.encode(decoded)) == decoded
+
+    def test_bank_key_uniqueness(self, mapping):
+        keys = set()
+        for rank in range(2):
+            for bg in range(4):
+                for bank in range(4):
+                    keys.add(DecodedAddress(0, rank, bg, bank, 0, 0).bank_key())
+        assert len(keys) == 32

@@ -1,0 +1,100 @@
+"""Tests for the DIMM topology and TCB model."""
+
+import pytest
+
+from repro.dram.dimm import ChipRole, DimmTopology, chip_data_slices
+
+
+class TestTopologyConstruction:
+    def test_x8_dual_rank_chip_counts(self):
+        dimm = DimmTopology(ranks=2, device_width=8)
+        assert len(dimm.chips_with_role(ChipRole.DATA_CHIP, rank=0)) == 8
+        assert len(dimm.chips_with_role(ChipRole.ECC_CHIP, rank=0)) == 1
+        assert len(dimm.chips_with_role(ChipRole.DATA_CHIP)) == 16
+        assert len(dimm.chips_with_role(ChipRole.ECC_CHIP)) == 2
+
+    def test_x4_rank_needs_two_ecc_chips(self):
+        dimm = DimmTopology(ranks=1, device_width=4)
+        assert dimm.data_chips_per_rank == 16
+        assert dimm.ecc_chips_per_rank == 2
+        assert len(dimm.chips_with_role(ChipRole.ECC_CHIP)) == 2
+
+    def test_single_rcd_per_module(self):
+        dimm = DimmTopology(ranks=2)
+        assert len(dimm.chips_with_role(ChipRole.RCD)) == 1
+
+    def test_lrdimm_has_distributed_data_buffers(self):
+        dimm = DimmTopology(ranks=1, device_width=8, load_reduced=True)
+        assert len(dimm.chips_with_role(ChipRole.DATA_BUFFER)) == 8
+        assert len(dimm.chips_with_role(ChipRole.ECC_DATA_BUFFER)) == 1
+
+    def test_rdimm_has_no_data_buffers(self):
+        dimm = DimmTopology(ranks=1, device_width=8, load_reduced=False)
+        assert len(dimm.chips_with_role(ChipRole.DATA_BUFFER)) == 0
+
+    def test_rejects_invalid_device_width(self):
+        with pytest.raises(ValueError):
+            DimmTopology(device_width=16)
+
+
+class TestTcbPlacement:
+    def test_untrusted_dimm_places_logic_on_ecc_die(self):
+        # Figure 5: for untrusted DIMMs the security logic is on the ECC
+        # chip's DRAM die, and only the ECC chips join the TCB.
+        dimm = DimmTopology(ranks=2, device_width=8, trusted_module=False)
+        logic = dimm.security_logic_chips()
+        assert logic
+        assert all(chip.role is ChipRole.ECC_CHIP for chip in logic)
+        tcb_roles = {chip.role for chip in dimm.tcb_chips()}
+        assert tcb_roles == {ChipRole.ECC_CHIP}
+
+    def test_trusted_dimm_places_logic_in_ecc_data_buffer(self):
+        # Figure 11: with a trusted module the ECC DB holds the logic.
+        dimm = DimmTopology(ranks=2, device_width=8, trusted_module=True)
+        logic = dimm.security_logic_chips()
+        assert logic
+        assert all(chip.role is ChipRole.ECC_DATA_BUFFER for chip in logic)
+
+    def test_untrusted_tcb_is_small_fraction_of_module(self):
+        # The paper's key TCB argument: only the ECC chips need trust.
+        dimm = DimmTopology(ranks=2, device_width=8, trusted_module=False)
+        assert dimm.tcb_fraction() < 0.15
+
+    def test_trusted_module_tcb_is_everything(self):
+        dimm = DimmTopology(ranks=2, device_width=8, trusted_module=True)
+        assert dimm.tcb_fraction() == pytest.approx(1.0)
+
+    def test_secddr_disabled_has_no_security_logic(self):
+        dimm = DimmTopology(ranks=2, secddr_enabled=False)
+        assert dimm.security_logic_chips() == []
+
+
+class TestBurstLengths:
+    def test_ddr4_write_burst_with_ewcrc(self):
+        dimm = DimmTopology()
+        assert dimm.write_burst_beats(ewcrc_enabled=False) == 8
+        assert dimm.write_burst_beats(ewcrc_enabled=True) == 10
+
+    def test_ddr5_write_burst_with_ewcrc(self):
+        dimm = DimmTopology()
+        assert dimm.write_burst_beats(ewcrc_enabled=False, ddr5=True) == 16
+        assert dimm.write_burst_beats(ewcrc_enabled=True, ddr5=True) == 18
+
+
+class TestChipDataSlices:
+    def test_x8_slices(self):
+        line = bytes(range(64))
+        slices = chip_data_slices(line, device_width=8)
+        assert len(slices) == 8
+        assert all(len(s) == 8 for s in slices)
+        assert b"".join(slices) == line
+
+    def test_x4_slices(self):
+        line = bytes(range(64))
+        slices = chip_data_slices(line, device_width=4)
+        assert len(slices) == 16
+        assert all(len(s) == 4 for s in slices)
+
+    def test_rejects_wrong_line_size(self):
+        with pytest.raises(ValueError):
+            chip_data_slices(bytes(32))

@@ -1,0 +1,91 @@
+"""Tests for the byte-accurate DRAM backing store."""
+
+import pytest
+
+from repro.dram.storage import DramStorage, StoredLine
+
+
+class TestBasicOperations:
+    def test_unwritten_lines_read_as_zero(self):
+        storage = DramStorage()
+        line = storage.read_line(0x1000)
+        assert line.data == bytes(64)
+        assert line.ecc_payload == bytes(8)
+
+    def test_write_then_read(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, b"\xaa" * 64, b"\xbb" * 8)
+        line = storage.read_line(0x1000)
+        assert line.data == b"\xaa" * 64
+        assert line.ecc_payload == b"\xbb" * 8
+
+    def test_read_returns_copy(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, b"\xaa" * 64, b"\xbb" * 8)
+        line = storage.read_line(0x1000)
+        mutated = StoredLine(data=b"\x00" * 64, ecc_payload=b"\x00" * 8)
+        line.data = mutated.data
+        assert storage.read_line(0x1000).data == b"\xaa" * 64
+
+    def test_unaligned_address_rejected(self):
+        storage = DramStorage()
+        with pytest.raises(ValueError):
+            storage.read_line(0x1001)
+        with pytest.raises(ValueError):
+            storage.write_line(0x1001, bytes(64), bytes(8))
+
+    def test_out_of_range_address_rejected(self):
+        storage = DramStorage(capacity_bytes=1024)
+        with pytest.raises(ValueError):
+            storage.read_line(2048)
+
+    def test_wrong_sizes_rejected(self):
+        storage = DramStorage()
+        with pytest.raises(ValueError):
+            storage.write_line(0, bytes(32), bytes(8))
+        with pytest.raises(ValueError):
+            storage.write_line(0, bytes(64), bytes(4))
+
+    def test_clear(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, b"\xaa" * 64, bytes(8))
+        storage.clear()
+        assert storage.read_line(0x1000).data == bytes(64)
+        assert storage.occupied_lines() == 0
+
+
+class TestAttackHooks:
+    def test_snapshot_and_restore(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, b"\x11" * 64, bytes(8))
+        image = storage.snapshot()
+        storage.write_line(0x1000, b"\x22" * 64, bytes(8))
+        storage.restore(image)
+        assert storage.read_line(0x1000).data == b"\x11" * 64
+
+    def test_snapshot_is_deep_copy(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, b"\x11" * 64, bytes(8))
+        image = storage.snapshot()
+        storage.write_line(0x1000, b"\x22" * 64, bytes(8))
+        assert image[0x1000].data == b"\x11" * 64
+
+    def test_corrupt_line_flips_requested_bits(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, bytes(64), bytes(8))
+        storage.corrupt_line(0x1000, bit_flips=3)
+        corrupted = storage.read_line(0x1000).data
+        differing_bits = sum(bin(a ^ b).count("1") for a, b in zip(corrupted, bytes(64)))
+        assert differing_bits == 3
+
+    def test_corrupt_preserves_ecc_payload(self):
+        storage = DramStorage()
+        storage.write_line(0x1000, bytes(64), b"\xcc" * 8)
+        storage.corrupt_line(0x1000)
+        assert storage.read_line(0x1000).ecc_payload == b"\xcc" * 8
+
+    def test_occupied_lines(self):
+        storage = DramStorage()
+        storage.write_line(0, bytes(64), bytes(8))
+        storage.write_line(64, bytes(64), bytes(8))
+        assert storage.occupied_lines() == 2

@@ -1,0 +1,81 @@
+"""Tests for the DDR timing parameter sets."""
+
+import pytest
+
+from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800, derate_frequency
+
+
+class TestTable1Timings:
+    def test_paper_table1_values(self):
+        # Table I: tCL/tCCDS/tCCDL/tCWL/tWTRS/tWTRL/tRP/tRCD/tRAS
+        #        = 22/4/10/16/4/12/22/22/56 at 1600 MHz.
+        t = DDR4_3200
+        assert t.freq_mhz == 1600.0
+        assert t.tCL == 22
+        assert t.tCCD_S == 4
+        assert t.tCCD_L == 10
+        assert t.tCWL == 16
+        assert t.tWTR_S == 4
+        assert t.tWTR_L == 12
+        assert t.tRP == 22
+        assert t.tRCD == 22
+        assert t.tRAS == 56
+
+    def test_data_rate(self):
+        assert DDR4_3200.data_rate_mtps == 3200.0
+        assert DDR4_2400.data_rate_mtps == 2400.0
+        assert DDR5_4800.data_rate_mtps == 4800.0
+
+    def test_trc_is_tras_plus_trp(self):
+        assert DDR4_3200.tRC == DDR4_3200.tRAS + DDR4_3200.tRP
+
+    def test_burst_occupancy_default(self):
+        # BL8 on a x64 bus occupies 4 DRAM clocks.
+        assert DDR4_3200.burst_cycles_read == 4
+        assert DDR4_3200.burst_cycles_write == 4
+        # DDR5 BL16 occupies 8 clocks.
+        assert DDR5_4800.burst_cycles_write == 8
+
+
+class TestConversions:
+    def test_cycles_to_ns_round_trip(self):
+        cycles = 160
+        ns = DDR4_3200.cycles_to_ns(cycles)
+        assert ns == pytest.approx(100.0)
+        assert DDR4_3200.ns_to_cycles(ns) == pytest.approx(cycles)
+
+    def test_with_write_burst_beats(self):
+        # SecDDR's eWCRC: BL8 -> BL10 means 4 -> 5 bus cycles.
+        extended = DDR4_3200.with_write_burst_beats(10)
+        assert extended.burst_cycles_write == 5
+        assert extended.burst_cycles_read == DDR4_3200.burst_cycles_read
+        # DDR5: BL16 -> BL18 means 8 -> 9 cycles.
+        assert DDR5_4800.with_write_burst_beats(18).burst_cycles_write == 9
+
+    def test_original_unmodified_by_with_write_burst(self):
+        DDR4_3200.with_write_burst_beats(10)
+        assert DDR4_3200.burst_cycles_write == 4
+
+
+class TestDerating:
+    def test_derate_scales_latency_cycles_down(self):
+        derated = derate_frequency(DDR4_3200, 1200.0)
+        assert derated.freq_mhz == 1200.0
+        # Same wall-clock latency means fewer cycles at a slower clock.
+        assert derated.tCL < DDR4_3200.tCL
+        assert derated.tRCD < DDR4_3200.tRCD
+
+    def test_derate_preserves_wall_clock_latency_approximately(self):
+        derated = derate_frequency(DDR4_3200, 1200.0)
+        original_ns = DDR4_3200.cycles_to_ns(DDR4_3200.tCL)
+        derated_ns = derated.cycles_to_ns(derated.tCL)
+        assert derated_ns == pytest.approx(original_ns, rel=0.1)
+
+    def test_derate_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            derate_frequency(DDR4_3200, 0.0)
+
+    def test_ddr4_2400_matches_derated_3200_closely(self):
+        derated = derate_frequency(DDR4_3200, 1200.0)
+        assert abs(derated.tCL - DDR4_2400.tCL) <= 1
+        assert abs(derated.tRCD - DDR4_2400.tRCD) <= 1

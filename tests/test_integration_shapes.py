@@ -1,0 +1,108 @@
+"""Integration tests: the paper's headline performance shapes.
+
+These tests run small but full-stack simulations (workload generator ->
+multi-core model -> secure-memory configuration -> FR-FCFS controller ->
+DDR4 channel) and assert the *relationships* the paper reports, not absolute
+numbers:
+
+* SecDDR outperforms the 64-ary integrity tree on random/graph workloads.
+* SecDDR+XTS sits within a few percent of the encrypt-only XTS upper bound.
+* The integrity tree's penalty grows as the tree gets taller (8-ary hash
+  tree much worse than 64-ary counter tree).
+* InvisiMem's realistic (derated-channel) variant is slower than SecDDR.
+* The eWCRC write-burst extension penalizes write-heavy streaming workloads
+  slightly, and only them.
+"""
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig, run_comparison
+
+# Small but representative: one random graph kernel, one pointer-chaser, one
+# write-heavy streaming workload, one compute-bound workload.
+WORKLOADS = ["pr", "mcf", "lbm", "namd"]
+EXPERIMENT = ExperimentConfig(num_accesses=1200, num_cores=2)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison(
+        configurations=[
+            "integrity_tree_64",
+            "integrity_tree_8_hash",
+            "secddr_ctr",
+            "encrypt_only_ctr",
+            "secddr_xts",
+            "encrypt_only_xts",
+            "invisimem_realistic_xts",
+            "invisimem_unrealistic_xts",
+        ],
+        workloads=WORKLOADS,
+        baseline="tdx_baseline",
+        experiment=EXPERIMENT,
+    )
+
+
+class TestHeadlineShapes:
+    def test_baseline_normalizes_to_one(self, comparison):
+        for workload in WORKLOADS:
+            assert comparison.normalized["tdx_baseline"][workload] == pytest.approx(1.0)
+
+    def test_secddr_ctr_beats_tree_on_random_workloads(self, comparison):
+        for workload in ("pr", "mcf"):
+            assert (
+                comparison.normalized["secddr_ctr"][workload]
+                > comparison.normalized["integrity_tree_64"][workload] * 1.05
+            )
+
+    def test_secddr_ctr_close_to_encrypt_only_ctr(self, comparison):
+        # Paper: within 3% on average.
+        ratio = comparison.gmean("secddr_ctr") / comparison.gmean("encrypt_only_ctr")
+        assert ratio > 0.93
+
+    def test_secddr_xts_close_to_encrypt_only_xts(self, comparison):
+        # Paper: within 1%; allow a little slack for the small simulations.
+        ratio = comparison.gmean("secddr_xts") / comparison.gmean("encrypt_only_xts")
+        assert ratio > 0.95
+
+    def test_secddr_xts_beats_tree_overall(self, comparison):
+        # Paper: 18.8% average improvement; require a clear win.
+        assert comparison.speedup_over("secddr_xts", "integrity_tree_64") > 1.05
+
+    def test_hash_merkle_tree_much_worse_than_counter_tree(self, comparison):
+        # Paper Figure 8: the 8-ary hash tree incurs a severe slowdown.
+        assert comparison.gmean("integrity_tree_8_hash") < comparison.gmean("integrity_tree_64")
+
+    def test_secddr_beats_realistic_invisimem(self, comparison):
+        assert comparison.speedup_over("secddr_xts", "invisimem_realistic_xts") > 1.0
+
+    def test_realistic_invisimem_slower_than_unrealistic(self, comparison):
+        assert comparison.gmean("invisimem_realistic_xts") <= comparison.gmean(
+            "invisimem_unrealistic_xts"
+        ) + 1e-6
+
+    def test_write_burst_penalty_shows_on_lbm_only_slightly(self, comparison):
+        # lbm loses a little with SecDDR relative to encrypt-only (longer
+        # write bursts), but the loss stays in the low single digits.
+        secddr = comparison.normalized["secddr_xts"]["lbm"]
+        encrypt_only = comparison.normalized["encrypt_only_xts"]["lbm"]
+        assert secddr <= encrypt_only
+        assert secddr / encrypt_only > 0.9
+
+    def test_compute_bound_workload_mostly_unaffected(self, comparison):
+        # namd barely touches memory; every configuration stays close to 1.
+        for config in ("integrity_tree_64", "secddr_xts", "secddr_ctr"):
+            assert comparison.normalized[config]["namd"] > 0.9
+
+
+class TestMetadataCacheBehaviour:
+    def test_random_workload_has_higher_metadata_miss_rate(self, comparison):
+        tree_results = comparison.results["integrity_tree_64"]
+        random_miss = tree_results["pr"].stat("metadata_miss_rate")
+        streaming_miss = tree_results["lbm"].stat("metadata_miss_rate")
+        assert random_miss > streaming_miss
+
+    def test_tree_generates_more_metadata_traffic_than_secddr(self, comparison):
+        tree = comparison.results["integrity_tree_64"]["pr"].stat("metadata_reads")
+        secddr = comparison.results["secddr_ctr"]["pr"].stat("metadata_reads")
+        assert tree > secddr

@@ -1,0 +1,91 @@
+"""Tests for the security-metadata cache."""
+
+import pytest
+
+from repro.cache.metadata_cache import MetadataCache
+
+
+class TestMetadataCacheBasics:
+    def test_first_access_misses(self):
+        cache = MetadataCache()
+        result = cache.access(0x1000)
+        assert not result.hit
+
+    def test_second_access_hits(self):
+        cache = MetadataCache()
+        cache.access(0x1000)
+        assert cache.access(0x1000).hit
+
+    def test_contains_is_non_destructive(self):
+        cache = MetadataCache()
+        assert not cache.contains(0x1000)
+        cache.access(0x1000)
+        assert cache.contains(0x1000)
+        assert cache.stats.accesses == 1  # contains() did not count
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = MetadataCache(size_bytes=1024, associativity=2)
+        num_sets = 1024 // 64 // 2
+        stride = num_sets * 64
+        cache.access(0, is_write=True)
+        writebacks = []
+        for i in range(1, 4):
+            result = cache.access(i * stride)
+            if result.writeback_address is not None:
+                writebacks.append(result.writeback_address)
+        assert writebacks == [0]
+
+    def test_default_geometry_matches_table1(self):
+        # 128 KB, 8-way, 64 B lines.
+        cache = MetadataCache()
+        assert cache._cache.config.size_bytes == 128 * 1024
+        assert cache._cache.config.associativity == 8
+
+    def test_flush_returns_dirty_lines(self):
+        cache = MetadataCache()
+        cache.access(0x1000, is_write=True)
+        cache.access(0x2000, is_write=False)
+        assert cache.flush() == [0x1000]
+
+
+class TestTraverseUntilHit:
+    def test_traversal_stops_at_cached_level(self):
+        cache = MetadataCache()
+        # Pre-warm the level-2 node.
+        cache.access(0x3000)
+        missed, _ = cache.traverse_until_hit([0x1000, 0x2000, 0x3000, 0x4000])
+        # Levels below the cached node miss; the cached node stops traversal
+        # and the level above it is never touched.
+        assert missed == [0x1000, 0x2000]
+        assert not cache.contains(0x4000)
+
+    def test_cold_traversal_misses_everything(self):
+        cache = MetadataCache()
+        path = [0x1000, 0x2000, 0x3000]
+        missed, _ = cache.traverse_until_hit(path)
+        assert missed == path
+
+    def test_warm_traversal_misses_nothing(self):
+        cache = MetadataCache()
+        path = [0x1000, 0x2000, 0x3000]
+        cache.traverse_until_hit(path)
+        missed, _ = cache.traverse_until_hit(path)
+        assert missed == []
+
+    def test_first_node_hit_short_circuits(self):
+        cache = MetadataCache()
+        cache.access(0x1000)
+        missed, _ = cache.traverse_until_hit([0x1000, 0x2000])
+        assert missed == []
+        assert not cache.contains(0x2000)
+
+    def test_dirty_traversal_marks_nodes_dirty(self):
+        cache = MetadataCache()
+        cache.traverse_until_hit([0x1000, 0x2000], dirty=True)
+        flushed = set(cache.flush())
+        assert {0x1000, 0x2000} <= flushed
+
+    def test_occupancy_grows_with_traversals(self):
+        cache = MetadataCache()
+        cache.traverse_until_hit([0x1000, 0x2000, 0x3000])
+        assert cache.occupancy() == 3

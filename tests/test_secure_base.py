@@ -1,0 +1,87 @@
+"""Tests for the secure-memory base machinery and metadata layout."""
+
+import pytest
+
+from repro.controller.memory_controller import MemoryController
+from repro.dram.commands import MetadataKind
+from repro.secure.base import MetadataLayout, SecureMemorySystem
+
+
+class TestMetadataLayout:
+    def test_counter_line_covers_64_lines(self):
+        layout = MetadataLayout()
+        base = layout.counter_line_address(0, 64)
+        # Lines 0..63 share a counter line; line 64 moves to the next one.
+        assert layout.counter_line_address(63 * 64, 64) == base
+        assert layout.counter_line_address(64 * 64, 64) == base + 64
+
+    def test_counter_packing_changes_coverage(self):
+        layout = MetadataLayout()
+        assert layout.counter_line_address(8 * 64, 8) != layout.counter_line_address(0, 8)
+        assert layout.counter_line_address(8 * 64, 128) == layout.counter_line_address(0, 128)
+
+    def test_mac_line_covers_8_lines(self):
+        layout = MetadataLayout()
+        base = layout.mac_line_address(0)
+        assert layout.mac_line_address(7 * 64) == base
+        assert layout.mac_line_address(8 * 64) == base + 64
+
+    def test_regions_are_disjoint(self):
+        layout = MetadataLayout()
+        counter = layout.counter_line_address(0, 64)
+        mac = layout.mac_line_address(0)
+        assert counter >= layout.counter_region_base
+        assert mac >= layout.mac_region_base
+        assert counter < layout.tree_region_base
+        assert mac != counter
+
+
+class TestSecureMemorySystemBase:
+    def test_read_returns_completion_and_zero_extra(self):
+        system = SecureMemorySystem(MemoryController())
+        completion, extra = system.read(0x1000, 0)
+        assert completion > 0
+        assert extra == 0.0
+        assert system.stats.demand_reads == 1
+
+    def test_write_is_posted(self):
+        system = SecureMemorySystem(MemoryController())
+        system.write(0x1000, 0)
+        assert system.stats.demand_writes == 1
+        assert system.controller.write_queue.occupancy == 1
+
+    def test_metadata_access_miss_then_hit(self):
+        system = SecureMemorySystem(MemoryController())
+        hit, completion = system._metadata_access(0x10000000000, 0, False, MetadataKind.MAC)
+        assert not hit
+        assert completion > 0
+        hit, completion2 = system._metadata_access(0x10000000000, 100, False, MetadataKind.MAC)
+        assert hit
+        assert completion2 == 100
+
+    def test_collect_stats_keys(self):
+        system = SecureMemorySystem(MemoryController())
+        system.read(0x1000, 0)
+        stats = system.collect_stats()
+        for key in ("demand_reads", "metadata_reads", "controller_reads", "metadata_miss_rate"):
+            assert key in stats
+
+    def test_metadata_mpki_requires_instruction_hint(self):
+        system = SecureMemorySystem(MemoryController())
+        system.read(0x1000, 0)
+        assert "metadata_mpki" not in system.collect_stats()
+        system.note_instructions(10000)
+        assert "metadata_mpki" in system.collect_stats()
+
+    def test_finish_flushes_dirty_metadata(self):
+        system = SecureMemorySystem(MemoryController())
+        system._metadata_access(0x10000000000, 0, True, MetadataKind.ENCRYPTION_COUNTER)
+        system.finish()
+        # The dirty counter line became a controller write and was drained.
+        assert system.controller.stats.writes_served >= 1
+
+    def test_access_breakdown_reports_components(self):
+        system = SecureMemorySystem(MemoryController())
+        breakdown = system.access_breakdown(0x2000, 0)
+        assert breakdown.completion == breakdown.data_completion
+        assert breakdown.metadata_lines_touched == 0

@@ -1,0 +1,50 @@
+"""Tests for the DDR5 configuration variants (write-burst ablation support)."""
+
+import pytest
+
+from repro.dram.timing import DDR5_4800
+from repro.secure.configs import (
+    CONFIGURATIONS,
+    SECDDR_WRITE_BURST_CYCLES_DDR5,
+    build_configuration,
+)
+from repro.sim.experiment import ExperimentConfig, run_simulation
+
+FAST = ExperimentConfig(num_accesses=300, num_cores=1)
+
+
+class TestDdr5Configurations:
+    def test_ddr5_variants_registered(self):
+        for name in ("tdx_baseline_ddr5", "secddr_xts_ddr5", "encrypt_only_xts_ddr5"):
+            assert name in CONFIGURATIONS
+            assert CONFIGURATIONS[name].timing is DDR5_4800
+
+    def test_secddr_ddr5_uses_bl18_write_burst(self):
+        spec = CONFIGURATIONS["secddr_xts_ddr5"]
+        assert spec.write_burst_cycles == SECDDR_WRITE_BURST_CYCLES_DDR5
+        system = build_configuration("secddr_xts_ddr5")
+        assert system.controller.channel.write_burst_cycles == SECDDR_WRITE_BURST_CYCLES_DDR5
+
+    def test_ddr5_baseline_keeps_default_burst(self):
+        system = build_configuration("encrypt_only_xts_ddr5")
+        assert system.controller.channel.write_burst_cycles == DDR5_4800.burst_cycles_write
+
+    def test_relative_write_burst_overhead_smaller_on_ddr5(self):
+        # DDR4: 4 -> 5 cycles (+25%); DDR5: 8 -> 9 cycles (+12.5%).
+        ddr4_overhead = CONFIGURATIONS["secddr_xts"].write_burst_cycles / 4
+        ddr5_overhead = SECDDR_WRITE_BURST_CYCLES_DDR5 / DDR5_4800.burst_cycles_write
+        assert ddr5_overhead < ddr4_overhead
+
+    def test_ddr5_simulation_runs(self):
+        result = run_simulation("lbm", "secddr_xts_ddr5", FAST)
+        assert result.total_ipc > 0
+        assert result.configuration == "secddr_xts_ddr5"
+
+    def test_ddr5_secddr_close_to_ddr5_encrypt_only(self):
+        # The eWCRC burst extension is relatively smaller on DDR5, so SecDDR
+        # should track the encrypt-only upper bound at least as closely as on
+        # DDR4 for a write-heavy workload.
+        secddr = run_simulation("lbm", "secddr_xts_ddr5", FAST)
+        encrypt_only = run_simulation("lbm", "encrypt_only_xts_ddr5", FAST)
+        assert secddr.total_ipc <= encrypt_only.total_ipc
+        assert secddr.total_ipc / encrypt_only.total_ipc > 0.9

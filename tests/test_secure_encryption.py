@@ -1,0 +1,61 @@
+"""Tests for the encryption-engine timing models and MAC placement."""
+
+import pytest
+
+from repro.secure.base import MetadataLayout
+from repro.secure.encryption import CounterModeEncryption, EncryptionMode, XTSEncryption
+from repro.secure.mac_store import MacPlacement, MacStore
+
+
+class TestCounterModeEncryption:
+    def test_counter_address_grouping(self):
+        engine = CounterModeEncryption(MetadataLayout(), counters_per_line=64)
+        assert engine.counter_address(0) == engine.counter_address(63 * 64)
+        assert engine.counter_address(0) != engine.counter_address(64 * 64)
+
+    def test_latency_hidden_on_counter_hit(self):
+        engine = CounterModeEncryption(MetadataLayout(), crypto_latency_cpu_cycles=40)
+        assert engine.read_critical_latency(counter_hit=True) == 0.0
+
+    def test_latency_exposed_on_counter_miss(self):
+        engine = CounterModeEncryption(MetadataLayout(), crypto_latency_cpu_cycles=40)
+        assert engine.read_critical_latency(counter_hit=False) == 40.0
+
+    def test_write_touches_counter_line(self):
+        engine = CounterModeEncryption(MetadataLayout(), counters_per_line=64)
+        touches = engine.write_touches(0x1000)
+        assert touches == [engine.counter_address(0x1000)]
+
+    def test_mode_enum(self):
+        assert CounterModeEncryption(MetadataLayout()).mode is EncryptionMode.COUNTER
+
+
+class TestXtsEncryption:
+    def test_latency_always_on_critical_path(self):
+        engine = XTSEncryption(crypto_latency_cpu_cycles=40)
+        assert engine.read_critical_latency() == 40.0
+
+    def test_no_metadata(self):
+        assert XTSEncryption().write_touches(0x1000) == []
+
+    def test_mode_enum(self):
+        assert XTSEncryption().mode is EncryptionMode.XTS
+
+
+class TestMacStore:
+    def test_ecc_placement_is_free(self):
+        store = MacStore(MetadataLayout(), placement=MacPlacement.ECC_CHIP)
+        assert store.read_touches(0x1000) == []
+        assert store.write_touches(0x1000) == []
+        assert store.storage_overhead_fraction() == 0.0
+
+    def test_in_memory_placement_costs_traffic_and_storage(self):
+        store = MacStore(MetadataLayout(), placement=MacPlacement.IN_MEMORY)
+        assert len(store.read_touches(0x1000)) == 1
+        assert len(store.write_touches(0x1000)) == 1
+        assert store.storage_overhead_fraction() == pytest.approx(0.125)
+
+    def test_in_memory_mac_line_shared_by_8_lines(self):
+        store = MacStore(MetadataLayout(), placement=MacPlacement.IN_MEMORY, macs_per_line=8)
+        assert store.read_touches(0) == store.read_touches(7 * 64)
+        assert store.read_touches(0) != store.read_touches(8 * 64)

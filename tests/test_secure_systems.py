@@ -1,0 +1,125 @@
+"""Tests for the baseline, SecDDR, and InvisiMem secure-memory timing models."""
+
+import pytest
+
+from repro.controller.memory_controller import ControllerConfig, MemoryController
+from repro.secure.baseline import EncryptOnlySystem, TdxBaselineSystem
+from repro.secure.encryption import EncryptionMode
+from repro.secure.invisimem import InvisiMemSystem
+from repro.secure.secddr_model import (
+    SECDDR_WRITE_BURST_BEATS_DDR4,
+    SECDDR_WRITE_BURST_BEATS_DDR5,
+    SecDDRSystem,
+)
+
+
+class TestEncryptOnly:
+    def test_xts_pays_fixed_decrypt_latency(self):
+        system = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        _, extra = system.read(0x1000, 0)
+        assert extra == 40.0
+        assert system.stats.metadata_accesses == 0
+
+    def test_ctr_miss_pays_latency_and_fetch(self):
+        system = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.COUNTER)
+        breakdown = system.access_breakdown(0x1000, 0)
+        assert breakdown.extra_cpu_cycles == 40.0
+        assert breakdown.metadata_lines_touched == 1
+
+    def test_ctr_hit_hides_latency(self):
+        system = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.COUNTER)
+        system.read(0x1000, 0)
+        breakdown = system.access_breakdown(0x1040, 5000)
+        assert breakdown.extra_cpu_cycles == 0.0
+        assert breakdown.metadata_misses == 0
+
+    def test_ctr_write_dirties_counter(self):
+        system = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.COUNTER)
+        system.write(0x1000, 0)
+        assert system.metadata_cache.flush()
+
+    def test_xts_write_has_no_metadata(self):
+        system = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        system.write(0x1000, 0)
+        assert system.metadata_cache.flush() == []
+
+
+class TestTdxBaseline:
+    def test_integrity_without_replay_protection(self):
+        system = TdxBaselineSystem(MemoryController())
+        assert system.provides_integrity
+        assert not system.provides_replay_protection
+
+    def test_timing_matches_encrypt_only_xts(self):
+        # MACs ride the ECC bus, so the baseline's timing equals encrypt-only.
+        baseline = TdxBaselineSystem(MemoryController())
+        encrypt_only = EncryptOnlySystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        b_completion, b_extra = baseline.read(0x1000, 0)
+        e_completion, e_extra = encrypt_only.read(0x1000, 0)
+        assert b_completion == e_completion
+        assert b_extra == e_extra
+
+
+class TestSecDDR:
+    def test_replay_protection_without_tree_traffic(self):
+        system = SecDDRSystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        assert system.provides_replay_protection
+        breakdown = system.access_breakdown(0x1000, 0)
+        # No tree, no MAC traffic: identical metadata profile to encrypt-only.
+        assert breakdown.metadata_lines_touched == 0
+        assert breakdown.extra_cpu_cycles == 40.0
+
+    def test_ctr_variant_touches_only_counters(self):
+        system = SecDDRSystem(MemoryController(), encryption_mode=EncryptionMode.COUNTER)
+        breakdown = system.access_breakdown(0x1000, 0)
+        assert breakdown.metadata_lines_touched == 1
+
+    def test_write_burst_beats(self):
+        assert SecDDRSystem(MemoryController()).write_burst_beats == SECDDR_WRITE_BURST_BEATS_DDR4
+        assert SECDDR_WRITE_BURST_BEATS_DDR4 == 10
+        assert SECDDR_WRITE_BURST_BEATS_DDR5 == 18
+        assert SecDDRSystem(MemoryController(), ewcrc_enabled=False).write_burst_beats == 8
+
+    def test_extended_write_burst_slows_writes_only(self):
+        normal_controller = MemoryController()
+        secddr_controller = MemoryController(ControllerConfig(write_burst_cycles=5))
+        normal = EncryptOnlySystem(normal_controller, encryption_mode=EncryptionMode.XTS)
+        secddr = SecDDRSystem(secddr_controller, encryption_mode=EncryptionMode.XTS)
+        # Reads are unaffected.
+        n_read, _ = normal.read(0x1000, 0)
+        s_read, _ = secddr.read(0x1000, 0)
+        assert n_read == s_read
+        # Writes occupy the bus one cycle longer.
+        normal.write(0x2000, 1000)
+        secddr.write(0x2000, 1000)
+        assert secddr_controller.flush() == normal_controller.flush() + 1
+
+
+class TestInvisiMem:
+    def test_channel_mac_latency_on_reads(self):
+        system = InvisiMemSystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        _, extra = system.read(0x1000, 0)
+        # XTS decrypt (40) + 2x per-transaction MAC (80).
+        assert extra == 120.0
+
+    def test_requires_trusted_module(self):
+        system = InvisiMemSystem(MemoryController())
+        assert system.requires_trusted_module
+        assert system.provides_replay_protection
+
+    def test_ctr_variant_also_pays_channel_macs(self):
+        system = InvisiMemSystem(MemoryController(), encryption_mode=EncryptionMode.COUNTER)
+        breakdown = system.access_breakdown(0x1000, 0)
+        # Counter miss: 40 (OTP) + 80 (channel MACs).
+        assert breakdown.extra_cpu_cycles == 120.0
+
+    def test_realistic_flag_reflected_in_name(self):
+        assert "realistic" in InvisiMemSystem(MemoryController(), realistic=True).name
+        assert "unrealistic" in InvisiMemSystem(MemoryController(), realistic=False).name
+
+    def test_read_latency_exceeds_secddr(self):
+        secddr = SecDDRSystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        invisimem = InvisiMemSystem(MemoryController(), encryption_mode=EncryptionMode.XTS)
+        _, secddr_extra = secddr.read(0x1000, 0)
+        _, invisimem_extra = invisimem.read(0x1000, 0)
+        assert invisimem_extra > secddr_extra

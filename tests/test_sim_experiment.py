@@ -1,0 +1,79 @@
+"""Tests for the experiment runner (small, fast simulations)."""
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig, default_system_parameters, run_comparison, run_simulation
+from repro.workloads.registry import build_workload
+
+FAST = ExperimentConfig(num_accesses=300, num_cores=2)
+
+
+class TestRunSimulation:
+    def test_returns_populated_result(self):
+        result = run_simulation("gcc", "tdx_baseline", FAST)
+        assert result.workload == "gcc"
+        assert result.configuration == "tdx_baseline"
+        assert result.total_ipc > 0
+        assert result.total_instructions > 0
+        assert "metadata_mpki" in result.memory_stats
+
+    def test_accepts_prebuilt_trace(self):
+        trace = build_workload("namd", num_accesses=300)
+        result = run_simulation(trace, "secddr_xts", FAST)
+        assert result.workload == "namd"
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(KeyError):
+            run_simulation("gcc", "not_a_config", FAST)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_simulation("quake", "tdx_baseline", FAST)
+
+    def test_invisimem_realistic_uses_slower_dram_clock(self):
+        # The realistic InvisiMem variant runs the channel at 1200 MHz; the
+        # simulation must pick that up via the configuration's timing.
+        baseline = run_simulation("mcf", "tdx_baseline", FAST)
+        realistic = run_simulation("mcf", "invisimem_realistic_xts", FAST)
+        assert realistic.total_ipc < baseline.total_ipc
+
+    def test_deterministic_given_seed(self):
+        a = run_simulation("gcc", "secddr_xts", FAST)
+        b = run_simulation("gcc", "secddr_xts", FAST)
+        assert a.total_ipc == pytest.approx(b.total_ipc)
+
+
+class TestRunComparison:
+    def test_baseline_always_included_and_normalized_to_one(self):
+        comparison = run_comparison(
+            configurations=["secddr_xts"], workloads=["gcc"], experiment=FAST
+        )
+        assert "tdx_baseline" in comparison.configurations
+        assert comparison.normalized["tdx_baseline"]["gcc"] == pytest.approx(1.0)
+
+    def test_all_pairs_present(self):
+        comparison = run_comparison(
+            configurations=["secddr_xts", "encrypt_only_xts"],
+            workloads=["gcc", "namd"],
+            experiment=FAST,
+        )
+        for config in comparison.configurations:
+            for workload in comparison.workloads:
+                assert workload in comparison.normalized[config]
+                assert workload in comparison.results[config]
+
+    def test_results_give_access_to_memory_stats(self):
+        comparison = run_comparison(
+            configurations=["integrity_tree_64"], workloads=["gcc"], experiment=FAST
+        )
+        result = comparison.result("integrity_tree_64", "gcc")
+        assert result.stat("metadata_accesses") > 0
+
+
+class TestDefaultSystemParameters:
+    def test_table1_rows_present(self):
+        params = default_system_parameters()
+        for key in ("Core", "Metadata Cache", "Main Memory", "Memory Timings"):
+            assert key in params
+        assert "DDR4-3200" in params["Memory Timings"]
+        assert "128KB" in params["Metadata Cache"]

@@ -1,0 +1,104 @@
+"""Tests for simulation statistics helpers and result records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.results import ComparisonResult, SimulationResult
+from repro.sim.stats import geometric_mean, normalize, summarize
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([0.9]) == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(values=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestNormalize:
+    def test_normalization(self):
+        normalized = normalize({"a": 2.0, "b": 1.0}, "b")
+        assert normalized == {"a": 2.0, "b": 1.0}
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 2.0}, "b")
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize({"a": 2.0, "b": 0.0}, "b")
+
+
+class TestSummarize:
+    def test_gmean_all_and_memory_intensive(self):
+        per_workload = {"mcf": 0.5, "gcc": 1.0, "pr": 0.4}
+        summary = summarize(per_workload, memory_intensive=["mcf", "pr"])
+        assert summary["gmean_all"] == pytest.approx(geometric_mean([0.5, 1.0, 0.4]))
+        assert summary["gmean_memory_intensive"] == pytest.approx(geometric_mean([0.5, 0.4]))
+
+    def test_missing_memory_intensive_entries_skipped(self):
+        summary = summarize({"gcc": 1.0}, memory_intensive=["mcf"])
+        assert "gmean_memory_intensive" not in summary
+
+
+class TestComparisonResult:
+    def _comparison(self):
+        return ComparisonResult(
+            baseline="base",
+            workloads=["w1", "w2"],
+            configurations=["base", "secddr", "tree"],
+            raw_ipc={
+                "base": {"w1": 2.0, "w2": 1.0},
+                "secddr": {"w1": 1.9, "w2": 0.95},
+                "tree": {"w1": 1.0, "w2": 0.8},
+            },
+            normalized={
+                "base": {"w1": 1.0, "w2": 1.0},
+                "secddr": {"w1": 0.95, "w2": 0.95},
+                "tree": {"w1": 0.5, "w2": 0.8},
+            },
+        )
+
+    def test_gmean(self):
+        comparison = self._comparison()
+        assert comparison.gmean("secddr") == pytest.approx(0.95)
+        assert comparison.gmean("base") == pytest.approx(1.0)
+
+    def test_gmean_subset(self):
+        assert self._comparison().gmean("tree", workloads=["w1"]) == pytest.approx(0.5)
+
+    def test_speedup_over(self):
+        comparison = self._comparison()
+        assert comparison.speedup_over("secddr", "tree") > 1.0
+
+    def test_format_table_contains_all_cells(self):
+        text = self._comparison().format_table()
+        assert "w1" in text and "secddr" in text and "0.95" in text
+
+    def test_simulation_result_stat_accessor(self):
+        result = SimulationResult(
+            workload="w",
+            configuration="c",
+            total_ipc=1.0,
+            total_instructions=100,
+            total_cycles=100.0,
+            average_read_latency_cycles=10.0,
+            memory_stats={"metadata_mpki": 5.0},
+        )
+        assert result.stat("metadata_mpki") == 5.0
+        assert result.stat("missing", default=-1.0) == -1.0

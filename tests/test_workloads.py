@@ -1,0 +1,175 @@
+"""Tests for the synthetic workload generators and the registry."""
+
+import pytest
+
+from repro.workloads.gapbs_like import GAPBS_PROFILES, SyntheticGraph, build_gapbs_trace
+from repro.workloads.generators import AccessPattern, TraceGeneratorConfig, generate_trace
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    MEMORY_INTENSIVE_THRESHOLD_MPKI,
+    build_workload,
+    memory_intensive_workloads,
+    workload_names,
+)
+from repro.workloads.spec_like import SPEC_PROFILES, build_spec_trace
+
+MB = 1024 * 1024
+
+
+class TestGenerators:
+    def _config(self, pattern, **kwargs):
+        defaults = dict(
+            name="test",
+            pattern=pattern,
+            mpki=20.0,
+            write_fraction=0.3,
+            footprint_bytes=64 * MB,
+            num_accesses=2000,
+            seed=7,
+        )
+        defaults.update(kwargs)
+        return TraceGeneratorConfig(**defaults)
+
+    def test_trace_length(self):
+        trace = generate_trace(self._config(AccessPattern.RANDOM))
+        assert len(trace) == 2000
+
+    def test_addresses_line_aligned_and_in_footprint(self):
+        config = self._config(AccessPattern.RANDOM)
+        trace = generate_trace(config)
+        for record in trace:
+            assert record.address % 64 == 0
+            assert record.address < config.footprint_bytes
+
+    def test_write_fraction_approximate(self):
+        trace = generate_trace(self._config(AccessPattern.RANDOM, write_fraction=0.4))
+        assert 0.3 < trace.write_fraction < 0.5
+
+    def test_mpki_approximate(self):
+        trace = generate_trace(self._config(AccessPattern.RANDOM, mpki=10.0))
+        assert 5.0 < trace.mpki < 20.0
+
+    def test_streaming_is_mostly_sequential(self):
+        trace = generate_trace(self._config(AccessPattern.STREAMING, write_fraction=0.0))
+        sequential = sum(
+            1
+            for a, b in zip(trace.records, trace.records[1:])
+            if b.address - a.address == 64
+        )
+        assert sequential / len(trace) > 0.8
+
+    def test_random_covers_large_footprint(self):
+        trace = generate_trace(self._config(AccessPattern.RANDOM))
+        # Addresses spread over a large fraction of the configured footprint.
+        assert max(r.address for r in trace) > 32 * MB
+
+    def test_compute_pattern_has_small_footprint(self):
+        trace = generate_trace(self._config(AccessPattern.COMPUTE, footprint_bytes=16 * MB))
+        assert trace.footprint_bytes < 2 * MB
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(self._config(AccessPattern.GRAPH, seed=3))
+        b = generate_trace(self._config(AccessPattern.GRAPH, seed=3))
+        assert [r.address for r in a] == [r.address for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(self._config(AccessPattern.RANDOM, seed=3))
+        b = generate_trace(self._config(AccessPattern.RANDOM, seed=4))
+        assert [r.address for r in a] != [r.address for r in b]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGeneratorConfig(
+                name="bad", pattern=AccessPattern.RANDOM, mpki=-1, write_fraction=0.5,
+                footprint_bytes=MB,
+            )
+        with pytest.raises(ValueError):
+            TraceGeneratorConfig(
+                name="bad", pattern=AccessPattern.RANDOM, mpki=1, write_fraction=1.5,
+                footprint_bytes=MB,
+            )
+
+
+class TestSpecProfiles:
+    def test_profile_count(self):
+        assert len(SPEC_PROFILES) == 23
+
+    def test_memory_intensive_classification(self):
+        assert SPEC_PROFILES["mcf"].memory_intensive
+        assert SPEC_PROFILES["lbm"].memory_intensive
+        assert not SPEC_PROFILES["perlbench"].memory_intensive
+        assert not SPEC_PROFILES["povray"].memory_intensive
+
+    def test_lbm_is_write_heavy(self):
+        # The paper attributes lbm's SecDDR slowdown to write intensity.
+        assert SPEC_PROFILES["lbm"].write_fraction >= max(
+            p.write_fraction for name, p in SPEC_PROFILES.items() if name != "lbm"
+        )
+
+    def test_build_spec_trace(self):
+        trace = build_spec_trace("mcf", num_accesses=500)
+        assert len(trace) == 500
+        assert trace.name == "mcf"
+
+    def test_unknown_spec_workload(self):
+        with pytest.raises(KeyError):
+            build_spec_trace("not_a_benchmark")
+
+
+class TestGapbs:
+    def test_profile_count(self):
+        assert len(GAPBS_PROFILES) == 6
+
+    def test_graph_footprint(self):
+        graph = SyntheticGraph(num_vertices=1 << 12, average_degree=8, seed=1)
+        assert graph.footprint_bytes == graph.vertex_array_bytes + graph.edge_array_bytes
+        assert graph.vertex_array_bytes == (1 << 12) * 8
+
+    def test_addresses_within_footprint(self):
+        graph = SyntheticGraph(num_vertices=1 << 12, average_degree=8, seed=1)
+        assert graph.vertex_address(graph.num_vertices - 1) < graph.vertex_array_bytes
+        assert graph.edge_address(graph.num_edges - 1) < graph.footprint_bytes
+
+    def test_build_gapbs_trace(self):
+        trace = build_gapbs_trace("pr", num_accesses=500)
+        assert len(trace) == 500
+        assert trace.name == "pr"
+
+    def test_graph_trace_has_random_component(self):
+        trace = build_gapbs_trace("pr", num_accesses=2000)
+        # Neighbour accesses spread over a large address range.
+        assert max(r.address for r in trace) > 100 * MB
+
+    def test_unknown_gapbs_workload(self):
+        with pytest.raises(KeyError):
+            build_gapbs_trace("apsp")
+
+    def test_graph_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            SyntheticGraph(num_vertices=1, average_degree=4)
+
+
+class TestRegistry:
+    def test_total_workload_count(self):
+        # 23 SPEC + 6 GAPBS = 29 workloads, as plotted in the paper's figures.
+        assert len(ALL_WORKLOADS) == 29
+
+    def test_memory_intensive_threshold(self):
+        for name in memory_intensive_workloads():
+            assert ALL_WORKLOADS[name].mpki >= MEMORY_INTENSIVE_THRESHOLD_MPKI
+
+    def test_graph_kernels_are_memory_intensive(self):
+        intensive = set(memory_intensive_workloads())
+        assert {"pr", "bc", "sssp", "cc", "bfs"} <= intensive
+
+    def test_workload_names_order_spec_then_gapbs(self):
+        names = workload_names()
+        assert names.index("perlbench") < names.index("bfs")
+
+    def test_build_workload_dispatches_both_suites(self):
+        assert len(build_workload("gcc", num_accesses=200)) == 200
+        assert len(build_workload("sssp", num_accesses=200)) == 200
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("doom3")
