@@ -12,7 +12,7 @@ counter and tree-node traffic; SecDDR only needs it for encryption counters
 
 from __future__ import annotations
 
-from conftest import bench_experiment
+from conftest import bench_experiment, bench_runner_kwargs
 
 from repro.sim.experiment import ExperimentConfig, run_comparison
 
@@ -35,6 +35,7 @@ def _run_sweep():
             workloads=WORKLOADS,
             baseline="tdx_baseline",
             experiment=experiment,
+            **bench_runner_kwargs(),
         )
     return results
 

@@ -13,7 +13,7 @@ beats are a smaller fraction of a 16-beat burst (paper Section IV-B note).
 
 from __future__ import annotations
 
-from conftest import bench_experiment
+from conftest import bench_experiment, bench_runner_kwargs
 
 from repro.sim.experiment import run_comparison
 
@@ -24,17 +24,20 @@ WORKLOADS = ["lbm", "roms", "fotonik3d", "bwaves", "mcf"]
 
 def _run_ablation():
     experiment = bench_experiment()
+    runner_kwargs = bench_runner_kwargs()
     ddr4 = run_comparison(
         configurations=["secddr_xts", "encrypt_only_xts"],
         workloads=WORKLOADS,
         baseline="tdx_baseline",
         experiment=experiment,
+        **runner_kwargs,
     )
     ddr5 = run_comparison(
         configurations=["secddr_xts_ddr5", "encrypt_only_xts_ddr5"],
         workloads=WORKLOADS,
         baseline="tdx_baseline_ddr5",
         experiment=experiment,
+        **runner_kwargs,
     )
     return ddr4, ddr5
 

@@ -16,7 +16,7 @@ roms) because of its longer write bursts.
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_workloads, print_series
+from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
 
 from repro.sim.experiment import run_comparison
 from repro.workloads.registry import memory_intensive_workloads
@@ -35,6 +35,7 @@ def _run_figure10():
         workloads=bench_workloads(),
         baseline="tdx_baseline",
         experiment=bench_experiment(),
+        **bench_runner_kwargs(),
     )
 
 

@@ -10,7 +10,7 @@ than AES-XTS overall (compare against Figure 10's series).
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_workloads, print_series
+from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
 
 from repro.sim.experiment import run_comparison
 from repro.workloads.registry import memory_intensive_workloads
@@ -29,6 +29,7 @@ def _run_figure12():
         workloads=bench_workloads(),
         baseline="tdx_baseline",
         experiment=bench_experiment(),
+        **bench_runner_kwargs(),
     )
 
 

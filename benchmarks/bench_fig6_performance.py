@@ -14,7 +14,7 @@ within ~3% of encrypt-only CTR; SecDDR+XTS ~18.8% above the tree and within
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_workloads, print_series
+from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
 
 from repro.sim.experiment import run_comparison
 from repro.workloads.registry import memory_intensive_workloads
@@ -34,6 +34,7 @@ def _run_figure6():
         workloads=bench_workloads(),
         baseline="tdx_baseline",
         experiment=bench_experiment(),
+        **bench_runner_kwargs(),
     )
 
 

@@ -11,18 +11,16 @@ in Figure 6.
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_workloads
+from conftest import bench_experiment, bench_jobs, bench_cache, bench_workloads
 
-from repro.sim.experiment import run_simulation
+from repro.sim.runner import ParallelRunner
 from repro.workloads.registry import ALL_WORKLOADS
 
 
 def _run_figure7():
-    experiment = bench_experiment()
-    results = {}
-    for workload in bench_workloads():
-        results[workload] = run_simulation(workload, "integrity_tree_64", experiment)
-    return results
+    runner = ParallelRunner(jobs=bench_jobs(), cache=bench_cache())
+    matrix = runner.run_matrix(["integrity_tree_64"], bench_workloads(), bench_experiment())
+    return matrix["integrity_tree_64"]
 
 
 def test_fig7_metadata_cache_behaviour(benchmark):

@@ -12,7 +12,7 @@ counter packings perform similarly.
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_workloads
+from conftest import bench_experiment, bench_runner_kwargs, bench_workloads
 
 from repro.sim.sweep import ARITY_GROUPS, arity_sweep, counter_packing_sweep
 
@@ -20,8 +20,9 @@ from repro.sim.sweep import ARITY_GROUPS, arity_sweep, counter_packing_sweep
 def _run_figure8():
     experiment = bench_experiment()
     workloads = bench_workloads(memory_intensive_only=True)
-    arity = arity_sweep(workloads=workloads, experiment=experiment)
-    packing = counter_packing_sweep(workloads=workloads, experiment=experiment)
+    runner_kwargs = bench_runner_kwargs()
+    arity = arity_sweep(workloads=workloads, experiment=experiment, **runner_kwargs)
+    packing = counter_packing_sweep(workloads=workloads, experiment=experiment, **runner_kwargs)
     return arity, packing
 
 

@@ -10,6 +10,12 @@ budget up with environment variables:
   (default 1000; the paper's SimPoints correspond to millions).
 * ``REPRO_BENCH_CORES``    -- simulated cores (default 2; the paper uses 4).
 * ``REPRO_BENCH_WORKLOADS`` -- optional comma-separated subset of workloads.
+* ``REPRO_BENCH_JOBS``     -- worker processes for the simulation cross
+  product (default 1 = serial; results are identical either way).
+* ``REPRO_BENCH_CACHE``    -- result-cache directory (default
+  ``benchmarks/results/.simcache``; set to ``off`` to disable).  One warm
+  cache serves every figure benchmark: pairs already simulated by an earlier
+  benchmark or an earlier run are loaded from disk instead of re-simulated.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import List, Optional
 import pytest
 
 from repro.sim.experiment import ExperimentConfig
+from repro.sim.runner import ResultCache
 from repro.workloads.registry import workload_names
 
 #: Directory where every benchmark's printed table/figure is also recorded,
@@ -59,6 +66,34 @@ def bench_experiment() -> ExperimentConfig:
         num_accesses=_env_int("REPRO_BENCH_ACCESSES", 1000),
         num_cores=_env_int("REPRO_BENCH_CORES", 2),
     )
+
+
+def bench_jobs() -> int:
+    """Worker processes used by the figure benchmarks (REPRO_BENCH_JOBS)."""
+    return _env_int("REPRO_BENCH_JOBS", 1)
+
+
+def bench_cache() -> Optional[ResultCache]:
+    """The shared on-disk result cache, or None when disabled.
+
+    All figure benchmarks key into the same cache, so a (workload,
+    configuration, experiment) pair is only ever simulated once per budget --
+    a second run of any ``bench_fig*`` benchmark skips all simulations.
+    """
+    override = os.environ.get("REPRO_BENCH_CACHE")
+    if override and override.lower() in ("off", "none", "0"):
+        return None
+    # Keys fingerprint the configuration spec, workload profile, and
+    # experiment knobs -- but not simulator *code*.  After editing simulator
+    # logic, delete this directory (or bump CACHE_SCHEMA_VERSION in
+    # repro.sim.runner) or the benchmarks will replay pre-edit results.
+    directory = Path(override) if override else RESULTS_DIR / ".simcache"
+    return ResultCache(directory)
+
+
+def bench_runner_kwargs() -> dict:
+    """Keyword arguments wiring ``run_comparison`` onto the parallel runner."""
+    return {"jobs": bench_jobs(), "cache": bench_cache()}
 
 
 def bench_workloads(memory_intensive_only: bool = False) -> List[str]:

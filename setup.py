@@ -23,6 +23,10 @@ setup(
         "dev": ["pytest", "pytest-benchmark", "hypothesis", "networkx", "scipy"],
     },
     entry_points={
-        "console_scripts": ["repro-secddr = repro.cli:main"],
+        "console_scripts": [
+            "repro = repro.cli:main",
+            # Historical alias, kept so existing scripts don't break.
+            "repro-secddr = repro.cli:main",
+        ],
     },
 )

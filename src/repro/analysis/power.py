@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 __all__ = ["AesEngineModel", "DimmPowerModel", "PowerOverheadRow", "table2_power_overheads"]
 

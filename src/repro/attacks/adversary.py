@@ -10,10 +10,9 @@ invokes; concrete attacks configure them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.core.protocol import ReadCommand, ReadResponse, WriteCommand, WriteTransaction
+from repro.core.protocol import ReadCommand, ReadResponse, WriteTransaction
 
 __all__ = ["BusAdversary", "RecordingAdversary"]
 

@@ -11,13 +11,13 @@ data-corruption attacks that MACs already caught.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.attacks.address_corruption import AddressCorruptionAttack
 from repro.attacks.dimm_substitution import DimmSubstitutionAttack
 from repro.attacks.relocation import DataRelocationAttack
 from repro.attacks.replay import BusReplayAttack
-from repro.attacks.results import AttackOutcome, AttackResult
+from repro.attacks.results import AttackResult
 from repro.attacks.rowhammer import ReadTamperAttack, RowHammerAttack
 from repro.attacks.write_drop import WriteDropAttack, WriteToReadConversionAttack
 from repro.core.config import SecDDRConfig

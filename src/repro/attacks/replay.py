@@ -10,7 +10,6 @@ the processor recovers a garbage MAC and flags the violation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.attacks.adversary import RecordingAdversary
 from repro.attacks.results import AttackOutcome, AttackResult

@@ -10,8 +10,8 @@ the benchmark classes in the paper's Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from dataclasses import dataclass
+from typing import List, Set
 
 __all__ = ["StreamPrefetcher", "PrefetcherStats"]
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["ReplacementPolicy", "LRUPolicy", "RandomPolicy"]
 

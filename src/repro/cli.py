@@ -6,6 +6,7 @@ Python::
     python -m repro.cli configs                    # list configurations
     python -m repro.cli workloads                  # list workloads
     python -m repro.cli compare -w pr,mcf -c integrity_tree_64,secddr_xts
+    python -m repro.cli sweep --arities 8,64,128   # Figure 8 arity sweep
     python -m repro.cli attack                     # attack detection matrix
     python -m repro.cli power                      # Table II power model
     python -m repro.cli security                   # Section III arithmetic
@@ -18,7 +19,9 @@ Every subcommand prints the same tables the benchmark harness records under
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from repro.analysis.power import table2_power_overheads
@@ -27,6 +30,8 @@ from repro.analysis.security_math import SecurityAnalysis
 from repro.attacks.campaign import AttackCampaign, run_standard_campaign
 from repro.secure.configs import CONFIGURATIONS, configuration_names
 from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.sim.runner import JobEvent, ProgressHook, ResultCache
+from repro.sim.sweep import ARITY_GROUPS, PACKING_GROUPS, arity_sweep, counter_packing_sweep
 from repro.workloads.registry import ALL_WORKLOADS, workload_names
 
 __all__ = ["build_parser", "main"]
@@ -47,7 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("attack", help="run the attack campaign and print the detection matrix")
     subparsers.add_parser("power", help="print the Table II power-overhead model")
     subparsers.add_parser("security", help="print the Section III security arithmetic")
-    subparsers.add_parser("scalability", help="print the tree-vs-SecDDR scalability sweep")
+
+    scalability = subparsers.add_parser(
+        "scalability", help="print the tree-vs-SecDDR scalability sweep"
+    )
+    scalability.add_argument(
+        "--measured", action="store_true",
+        help="also simulate the mechanisms and print measured gmean normalized IPC",
+    )
+    scalability.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
+    scalability.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_runner_arguments(scalability)
 
     compare = subparsers.add_parser(
         "compare", help="simulate configurations over workloads and print normalized IPC"
@@ -65,7 +80,73 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
     compare.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
     compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_runner_arguments(compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run the Figure 8 arity and counter-packing sweeps"
+    )
+    sweep.add_argument(
+        "-w", "--workloads",
+        default="",
+        help="comma-separated workload names (default: the memory-intensive subset)",
+    )
+    sweep.add_argument(
+        "--arities", default="8,64,128", help="comma-separated tree arities / counter packings"
+    )
+    sweep.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
+    sweep.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
+    sweep.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_runner_arguments(sweep)
     return parser
+
+
+def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Parallel-runner flags shared by the simulation subcommands."""
+    subparser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the (workload, configuration) cross product",
+    )
+    subparser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result cache "
+        "(default: $REPRO_CACHE_DIR if set, otherwise caching is off)",
+    )
+    subparser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if a cache directory is configured",
+    )
+    subparser.add_argument(
+        "--verbose", action="store_true",
+        help="print per-job progress (dispatch, completion time, cache hits)",
+    )
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(cache_dir) if cache_dir else None
+
+
+def _build_progress(args: argparse.Namespace) -> Optional[ProgressHook]:
+    if not args.verbose:
+        return None
+
+    def _print_event(event: JobEvent) -> None:
+        if event.status == "start":
+            return
+        suffix = "cache hit" if event.status == "cached" else "%.2fs" % event.elapsed_seconds
+        print("[%3d/%3d] %-28s %-14s %s"
+              % (event.index + 1, event.total, event.configuration, event.workload, suffix),
+              file=sys.stderr)
+
+    return _print_event
+
+
+def _print_cache_stats(args: argparse.Namespace, cache: Optional[ResultCache]) -> None:
+    if cache is not None and args.verbose:
+        print("cache: %d hit(s), %d miss(es) in %s" % (cache.hits, cache.misses, cache.directory),
+              file=sys.stderr)
 
 
 def _split(value: str) -> List[str]:
@@ -120,7 +201,7 @@ def _cmd_security() -> int:
     return 0
 
 
-def _cmd_scalability() -> int:
+def _cmd_scalability(args: argparse.Namespace) -> int:
     sweep = scalability_sweep()
     print("%-12s %18s %18s %12s %12s" % (
         "capacity", "64-ary tree", "8-ary hash tree", "SecDDR+CTR", "SecDDR+XTS",
@@ -133,21 +214,103 @@ def _cmd_scalability() -> int:
             points["secddr_ctr"].worst_case_extra_accesses,
             points["secddr_xts"].worst_case_extra_accesses,
         ))
+    if args.measured:
+        from repro.analysis.scalability import measured_protection_overheads
+
+        cache = _build_cache(args)
+        measured = measured_protection_overheads(
+            experiment=ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores),
+            jobs=args.jobs,
+            cache=cache,
+            progress=_build_progress(args),
+        )
+        print()
+        print("Measured gmean normalized IPC (simulated):")
+        for config, gmean in measured.items():
+            print("%-28s %.3f" % (config, gmean))
+        _print_cache_stats(args, cache)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
+    cache = _build_cache(args)
     comparison = run_comparison(
         configurations=_split(args.configurations),
         workloads=_split(args.workloads),
         baseline=args.baseline,
         experiment=experiment,
+        jobs=args.jobs,
+        cache=cache,
+        progress=_build_progress(args),
     )
     print(comparison.format_table())
     print()
     for config in comparison.configurations:
         print("gmean %-28s %.3f" % (config, comparison.gmean(config)))
+    _print_cache_stats(args, cache)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
+    cache = _build_cache(args)
+    # The arity and packing sweeps share most (workload, configuration)
+    # pairs (including the baseline); without a cache each would re-simulate
+    # them, so fall back to an ephemeral cache for the duration of the run.
+    # --no-cache is honored literally: no cache at all, duplicates re-run.
+    ephemeral: Optional[tempfile.TemporaryDirectory] = None
+    if cache is None and not args.no_cache:
+        ephemeral = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+        cache = ResultCache(ephemeral.name)
+    try:
+        return _run_sweep_command(args, experiment, cache)
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()
+
+
+def _run_sweep_command(
+    args: argparse.Namespace, experiment: ExperimentConfig, cache: Optional[ResultCache]
+) -> int:
+    workloads = _split(args.workloads) or None
+    # A value must drive both halves of Figure 8, so it has to exist in the
+    # arity table and the counter-packing table.
+    supported = sorted(set(ARITY_GROUPS) & set(PACKING_GROUPS))
+    try:
+        arities = [int(a) for a in _split(args.arities)]
+    except ValueError:
+        print("error: --arities must be comma-separated integers (supported: %s)"
+              % ", ".join(map(str, supported)), file=sys.stderr)
+        return 2
+    unsupported = [a for a in arities if a not in supported]
+    if unsupported:
+        print("error: unsupported arity %s (supported: %s)"
+              % (", ".join(map(str, unsupported)), ", ".join(map(str, supported))),
+              file=sys.stderr)
+        return 2
+    common = dict(
+        workloads=workloads,
+        experiment=experiment,
+        baseline=args.baseline,
+        jobs=args.jobs,
+        cache=cache,
+        progress=_build_progress(args),
+    )
+    arity = arity_sweep(arities=arities, **common)
+    packing = counter_packing_sweep(packings=arities, **common)
+
+    print("Figure 8 arity sweep (gmean normalized IPC, baseline = %s)" % args.baseline)
+    print("%-8s %12s %12s %14s" % ("arity", "tree", "secddr", "encrypt_only"))
+    for value, roles in arity.items():
+        print("%-8d %12.3f %12.3f %14.3f"
+              % (value, roles["tree"], roles["secddr"], roles["encrypt_only"]))
+    print()
+    print("Counter-packing sweep (gmean normalized IPC, baseline = %s)" % args.baseline)
+    print("%-8s %12s %14s" % ("packing", "secddr", "encrypt_only"))
+    for value, roles in packing.items():
+        print("%-8d %12.3f %14.3f" % (value, roles["secddr"], roles["encrypt_only"]))
+    _print_cache_stats(args, cache)
     return 0
 
 
@@ -165,9 +328,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "security":
         return _cmd_security()
     if args.command == "scalability":
-        return _cmd_scalability()
+        return _cmd_scalability(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover
 
 

@@ -14,7 +14,7 @@ queued write is returned from the queue without a DRAM access.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.controller.queues import RequestQueue
 from repro.controller.scheduler import FRFCFSScheduler

@@ -11,7 +11,6 @@ sends the E-MAC back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import SecDDRConfig

@@ -11,7 +11,6 @@ still passes the (non-cryptographic) CRC check.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
 
 from repro.crypto.crc import ewcrc
 from repro.crypto.modes import one_time_pad, xor_bytes

@@ -10,7 +10,7 @@ paper describes -- observable and testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.attestation import (

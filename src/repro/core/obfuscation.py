@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.transaction_counter import TransactionCounter
 from repro.crypto.modes import one_time_pad, xor_bytes

@@ -10,7 +10,6 @@ only place MAC verification happens in SecDDR is here (Section III-A).
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SecDDRConfig

@@ -15,11 +15,10 @@ change the latency and count of memory accesses the core observes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 from repro.cpu.trace import MemoryTrace, TraceRecord
-from repro.dram.commands import MemoryRequest, RequestType
 
 __all__ = ["CoreConfig", "CoreResult", "Core"]
 

@@ -18,7 +18,7 @@ Three constructions are provided:
 from __future__ import annotations
 
 import struct
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.crypto.aes import AES128
 

@@ -8,7 +8,7 @@ column command can go out and when its data transfer completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.timing import DDRTimingParameters

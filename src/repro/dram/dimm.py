@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List
 
 __all__ = ["ChipRole", "DimmChip", "DimmTopology", "chip_data_slices"]
 

@@ -10,8 +10,8 @@ DIMM-substitution (cold-boot) attack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 __all__ = ["StoredLine", "DramStorage"]
 

@@ -14,8 +14,8 @@ systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.cache.metadata_cache import MetadataCache
 from repro.controller.memory_controller import MemoryController

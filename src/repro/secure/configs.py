@@ -25,8 +25,8 @@ secure-memory system, ready to be handed to :class:`repro.cpu.system.System`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.cache.metadata_cache import MetadataCache
 from repro.controller.memory_controller import ControllerConfig, MemoryController

@@ -12,7 +12,7 @@ Morphable-style tree).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.cache.metadata_cache import MetadataCache

@@ -9,6 +9,12 @@ means over all / memory-intensive workloads).
 
 from repro.sim.stats import geometric_mean, normalize, summarize
 from repro.sim.results import SimulationResult, ComparisonResult
+from repro.sim.runner import (
+    JobEvent,
+    ParallelRunner,
+    ResultCache,
+    SimulationJob,
+)
 from repro.sim.experiment import (
     ExperimentConfig,
     run_simulation,
@@ -23,6 +29,10 @@ __all__ = [
     "summarize",
     "SimulationResult",
     "ComparisonResult",
+    "JobEvent",
+    "ParallelRunner",
+    "ResultCache",
+    "SimulationJob",
     "ExperimentConfig",
     "run_simulation",
     "run_comparison",

@@ -9,7 +9,9 @@ exactly how the paper presents Figures 6, 8, 10 and 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.cpu.core import CoreConfig
@@ -17,6 +19,13 @@ from repro.cpu.system import System, SystemConfig
 from repro.cpu.trace import MemoryTrace
 from repro.secure.configs import CONFIGURATIONS, build_configuration
 from repro.sim.results import ComparisonResult, SimulationResult
+from repro.sim.runner import (
+    ParallelRunner,
+    ProgressHook,
+    ResultCache,
+    resolve_cache,
+    workload_profile_token,
+)
 from repro.workloads.registry import build_workload
 
 __all__ = [
@@ -42,10 +51,28 @@ class ExperimentConfig:
     mshr_entries: int = 16
 
 
+@lru_cache(maxsize=4)
+def _build_workload_cached(
+    name: str, num_accesses: int, seed: int, profile_token: str
+) -> MemoryTrace:
+    # Trace construction is deterministic and traces are never mutated, so
+    # one instance can be shared by every configuration in a comparison (and
+    # by repeated jobs in one process) without rebuilding it per job.  Jobs
+    # run workload-major, so a tiny LRU suffices; keeping it small bounds
+    # how many (potentially huge) traces stay pinned for the process life.
+    # ``profile_token`` keys the memo to the workload's generator profile so
+    # an in-process profile edit rebuilds the trace instead of serving the
+    # old one (which would then be stored in the disk cache under the new,
+    # profile-aware key).
+    return build_workload(name, num_accesses=num_accesses, seed=seed)
+
+
 def _resolve_workload(workload: Union[str, MemoryTrace], config: ExperimentConfig) -> MemoryTrace:
     if isinstance(workload, MemoryTrace):
         return workload
-    return build_workload(workload, num_accesses=config.num_accesses, seed=config.seed)
+    return _build_workload_cached(
+        workload, config.num_accesses, config.seed, workload_profile_token(workload)
+    )
 
 
 def run_simulation(
@@ -101,25 +128,43 @@ def run_comparison(
     workloads: Iterable[Union[str, MemoryTrace]],
     baseline: str = "tdx_baseline",
     experiment: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> ComparisonResult:
-    """Run every configuration over every workload and normalize to ``baseline``."""
+    """Run every configuration over every workload and normalize to ``baseline``.
+
+    ``jobs`` fans the (workload, configuration) cross product out over a
+    process pool; results are identical to the serial path because every job
+    is deterministic and self-contained.  Passing ``cache`` (or a
+    ``cache_dir`` to build one from) reuses previously simulated pairs from
+    disk, so one warm cache serves repeated comparisons and sweeps.
+    """
     experiment = experiment or ExperimentConfig()
+    cache = resolve_cache(cache, cache_dir)
     config_list = list(configurations)
     if baseline not in config_list:
         config_list = [baseline] + config_list
     workload_list = list(workloads)
-    workload_names: List[str] = []
 
-    raw: Dict[str, Dict[str, float]] = {c: {} for c in config_list}
-    results: Dict[str, Dict[str, SimulationResult]] = {c: {} for c in config_list}
+    # Named workloads are passed to the jobs unresolved: trace construction
+    # is a pure function of (name, profile, experiment knobs), so every
+    # configuration still replays the exact same access stream -- which the
+    # baseline-normalized figures depend on -- while jobs satisfied by the
+    # cache never build their trace at all.
+    workload_names: List[str] = [
+        workload if isinstance(workload, str) else workload.name for workload in workload_list
+    ]
 
-    for workload in workload_list:
-        trace = _resolve_workload(workload, experiment)
-        workload_names.append(trace.name)
-        for config in config_list:
-            result = run_simulation(trace, config, experiment)
-            raw[config][trace.name] = result.total_ipc
-            results[config][trace.name] = result
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    results: Dict[str, Dict[str, SimulationResult]] = runner.run_matrix(
+        config_list, workload_list, experiment
+    )
+    raw: Dict[str, Dict[str, float]] = {
+        config: {workload: result.total_ipc for workload, result in per_workload.items()}
+        for config, per_workload in results.items()
+    }
 
     normalized: Dict[str, Dict[str, float]] = {c: {} for c in config_list}
     for workload_name in workload_names:

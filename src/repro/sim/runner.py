@@ -1,0 +1,340 @@
+"""Job-based parallel experiment runner with on-disk result caching.
+
+``run_comparison`` used to simulate every (workload, configuration) pair
+strictly serially in one process, so sweep wall-clock grew linearly with the
+cross product.  This module turns each pair into an independent
+:class:`SimulationJob` and fans the job list out over a ``multiprocessing``
+pool.  Three properties make the fan-out safe:
+
+* **Determinism** -- every job carries its workload (a registry name or a
+  pre-built trace) and the frozen
+  :class:`~repro.sim.experiment.ExperimentConfig`, and trace construction
+  plus the simulator itself are pure functions of those inputs.  A job
+  therefore produces bit-identical results whether it runs inline, in a
+  worker process, or on a different day, and parallel results are identical
+  to serial ones.
+* **Per-job seeding** -- traces are built from ``(workload name,
+  num_accesses, seed)`` before the jobs are dispatched, never from shared RNG
+  state, so job execution order cannot change any result.
+* **Caching** -- results are cached on disk under a stable SHA-256 key of
+  (configuration name, workload identity, experiment knobs).  A warm cache
+  lets every figure benchmark and CLI sweep skip simulations that any earlier
+  run already performed; changing any ``ExperimentConfig`` field changes the
+  key and transparently invalidates the entry.
+
+Progress/timing hooks (:class:`JobEvent`) let callers observe dispatch,
+completion, and cache hits without coupling the runner to any UI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.trace import MemoryTrace
+from repro.secure.configs import CONFIGURATIONS
+from repro.sim.results import SimulationResult
+from repro.workloads.gapbs_like import GAPBS_PROFILES
+from repro.workloads.spec_like import SPEC_PROFILES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.sim.experiment import ExperimentConfig
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "SimulationJob",
+    "JobEvent",
+    "ProgressHook",
+    "ResultCache",
+    "ParallelRunner",
+    "resolve_cache",
+    "workload_cache_token",
+    "workload_profile_token",
+]
+
+
+def workload_profile_token(name: str) -> str:
+    """A stable identity string for a named workload's generator profile.
+
+    Part of both the disk-cache key and the in-process trace memo key, so
+    tuning a profile invalidates cached results and rebuilds traces in the
+    same breath -- neither layer can serve output of the old profile.
+    """
+    profile = SPEC_PROFILES.get(name) or GAPBS_PROFILES.get(name)
+    return repr(profile)
+
+#: Bump whenever the cached payload layout (or simulator semantics) changes;
+#: entries written under another schema version are treated as misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def resolve_cache(
+    cache: "Optional[ResultCache]", cache_dir: "Optional[Union[str, Path]]"
+) -> "Optional[ResultCache]":
+    """The cache to use: an explicit one wins, else one built from a path.
+
+    Shared by every entry point that accepts both a ``cache`` and a
+    ``cache_dir`` keyword (``run_comparison``, the sweeps), so the promotion
+    rule lives in exactly one place.
+    """
+    if cache is not None:
+        return cache
+    if cache_dir is not None:
+        return ResultCache(cache_dir)
+    return None
+
+
+def workload_cache_token(workload: Union[str, MemoryTrace]) -> str:
+    """A stable identity string for a workload input.
+
+    Named workloads hash by name plus their declarative generator profile
+    (their trace is derived deterministically from profile + experiment
+    knobs, which are part of the cache key anyway), so tuning a workload
+    profile invalidates cached results just like editing a configuration
+    spec does.  Pre-built traces hash by content so two different traces
+    sharing a name can never collide in the cache.
+    """
+    if isinstance(workload, str):
+        return "name:%s;profile:%s" % (workload, workload_profile_token(workload))
+    # Content hashing is O(records); memoize per trace instance so a
+    # comparison keying the same trace once per configuration (and repeated
+    # runs over one trace object) only pays for it once.
+    token = getattr(workload, "_cache_token", None)
+    if token is None:
+        digest = hashlib.sha256()
+        digest.update(workload.name.encode("utf-8"))
+        for record in workload:
+            digest.update(
+                ("%d,%d,%d;"
+                 % (record.instruction_gap, int(record.is_write), record.address)).encode()
+            )
+        token = "trace:%s" % digest.hexdigest()
+        workload._cache_token = token
+    return token
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One independent (workload, configuration) simulation.
+
+    ``workload`` may be a registry name or a pre-built trace; either way the
+    job is self-contained and picklable, which is what lets a worker process
+    execute it without any shared state.  Named workloads are resolved to
+    traces inside the worker, so a job satisfied by the cache never builds
+    its trace at all.
+    """
+
+    configuration: str
+    workload: Union[str, MemoryTrace]
+    experiment: "ExperimentConfig"
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload if isinstance(self.workload, str) else self.workload.name
+
+    def cache_key(self) -> str:
+        """Stable SHA-256 key over (configuration, workload, experiment).
+
+        The configuration contributes its full declarative spec, not just its
+        name, so edits to a configuration's parameters (timings, packing,
+        cache sizes, ...) invalidate cached results automatically.  Changes
+        to simulator *logic* still require a ``CACHE_SCHEMA_VERSION`` bump.
+        """
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "configuration": self.configuration,
+            "configuration_spec": repr(CONFIGURATIONS.get(self.configuration)),
+            "workload": workload_cache_token(self.workload),
+            "experiment": asdict(self.experiment),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """Progress/timing notification emitted by :class:`ParallelRunner`.
+
+    ``status`` is ``"start"`` when a job is dispatched, ``"done"`` when its
+    simulation finishes (``elapsed_seconds`` is the worker-measured wall
+    time), and ``"cached"`` when the on-disk cache satisfied it.
+    """
+
+    configuration: str
+    workload: str
+    status: str
+    index: int
+    total: int
+    elapsed_seconds: float = 0.0
+
+
+ProgressHook = Callable[[JobEvent], None]
+
+
+class ResultCache:
+    """On-disk cache of :class:`SimulationResult` records, one JSON file each.
+
+    Writes are atomic (tempfile + ``os.replace``) so concurrent runners
+    sharing one cache directory can only ever observe complete entries.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / ("%s.json" % key)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on a miss.
+
+        Anything unreadable -- missing file, invalid JSON, another schema
+        version, or a well-formed entry whose payload no longer matches
+        ``SimulationResult`` -- counts as a miss and is re-simulated.
+        """
+        try:
+            data = json.loads(self._path(key).read_text())
+            if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("unusable cache entry")
+            result = SimulationResult(**data["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "result": asdict(result)}
+        final = self._path(key)
+        tmp = final.with_name("%s.tmp.%d" % (final.name, os.getpid()))
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, final)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps up ``*.json.tmp.<pid>`` leftovers from writers that died
+        between the tempfile write and the atomic rename.
+        """
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json*"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _execute_job(job: SimulationJob) -> Tuple[SimulationResult, float]:
+    """Worker entry point: simulate one job, returning (result, seconds)."""
+    # Imported lazily: repro.sim.experiment imports this module at top level.
+    from repro.sim.experiment import run_simulation
+
+    started = time.perf_counter()
+    result = run_simulation(job.workload, job.configuration, job.experiment)
+    return result, time.perf_counter() - started
+
+
+class ParallelRunner:
+    """Execute a list of :class:`SimulationJob` with caching and a pool.
+
+    ``jobs=1`` runs inline in the calling process (no pool, no pickling);
+    ``jobs>1`` fans uncached work out over a ``multiprocessing`` pool while
+    preserving input order in the returned list, so callers assemble results
+    identically regardless of parallelism.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: JobEvent) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:
+        """Run every job, returning results in input order."""
+        job_list = list(jobs)
+        total = len(job_list)
+        results: List[Optional[SimulationResult]] = [None] * total
+        pending: List[Tuple[int, SimulationJob, Optional[str]]] = []
+
+        for index, job in enumerate(job_list):
+            key = job.cache_key() if self.cache is not None else None
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                results[index] = cached
+                self._emit(JobEvent(job.configuration, job.workload_name, "cached", index, total))
+            else:
+                pending.append((index, job, key))
+
+        if pending:
+            for index, job, _ in pending:
+                self._emit(JobEvent(job.configuration, job.workload_name, "start", index, total))
+            pending_jobs = [job for _, job, _ in pending]
+            if self.jobs == 1 or len(pending) == 1:
+                self._consume(pending, map(_execute_job, pending_jobs), results, total)
+            else:
+                workers = min(self.jobs, len(pending))
+                with multiprocessing.Pool(processes=workers) as pool:
+                    # imap streams outcomes in job order as workers finish,
+                    # so progress events and cache writes happen per job
+                    # instead of all at once after the last job.
+                    self._consume(pending, pool.imap(_execute_job, pending_jobs), results, total)
+
+        if any(result is None for result in results):
+            raise RuntimeError("runner left unfilled job slots")  # pragma: no cover
+        return results
+
+    def _consume(self, pending, outcomes, results, total) -> None:
+        """Store streamed outcomes, write the cache, and emit 'done' events."""
+        for (index, job, key), (result, elapsed) in zip(pending, outcomes):
+            results[index] = result
+            if self.cache is not None and key is not None:
+                self.cache.put(key, result)
+            self._emit(
+                JobEvent(job.configuration, job.workload_name, "done", index, total, elapsed)
+            )
+
+    # ------------------------------------------------------------------
+    def run_matrix(
+        self,
+        configurations: Sequence[str],
+        workloads: Sequence[Union[str, MemoryTrace]],
+        experiment: "ExperimentConfig",
+    ) -> Dict[str, Dict[str, SimulationResult]]:
+        """Run the full cross product; returns ``{config: {workload: result}}``."""
+        job_list = [
+            SimulationJob(configuration=config, workload=workload, experiment=experiment)
+            for workload in workloads
+            for config in configurations
+        ]
+        outcomes = self.run(job_list)
+        table: Dict[str, Dict[str, SimulationResult]] = {c: {} for c in configurations}
+        for job, result in zip(job_list, outcomes):
+            table[job.configuration][job.workload_name] = result
+        return table

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 __all__ = ["geometric_mean", "normalize", "summarize"]
 

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
 
 from repro.sim.experiment import ExperimentConfig, run_comparison
-from repro.sim.results import ComparisonResult
+from repro.sim.runner import ProgressHook, ResultCache, resolve_cache
 from repro.workloads.registry import memory_intensive_workloads
 
-__all__ = ["ARITY_GROUPS", "arity_sweep", "counter_packing_sweep"]
+__all__ = ["ARITY_GROUPS", "PACKING_GROUPS", "arity_sweep", "counter_packing_sweep"]
 
 #: Figure 8 groups: for each arity, the tree configuration and the SecDDR /
 #: encrypt-only configurations using the matching counter packing.
@@ -31,20 +31,35 @@ ARITY_GROUPS: Dict[int, Dict[str, str]] = {
     },
 }
 
+#: Right half of Figure 8: SecDDR / encrypt-only per counters-per-line value.
+PACKING_GROUPS: Dict[int, Dict[str, str]] = {
+    8: {"secddr": "secddr_ctr_pack8", "encrypt_only": "encrypt_only_ctr_pack8"},
+    64: {"secddr": "secddr_ctr", "encrypt_only": "encrypt_only_ctr"},
+    128: {"secddr": "secddr_ctr_pack128", "encrypt_only": "encrypt_only_ctr_pack128"},
+}
+
 
 def arity_sweep(
     workloads: Optional[Iterable[str]] = None,
     arities: Iterable[int] = (8, 64, 128),
     experiment: Optional[ExperimentConfig] = None,
     baseline: str = "tdx_baseline",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 8: gmean normalized IPC per arity for tree/SecDDR/encrypt-only.
 
     Returns ``{arity: {"tree": g, "secddr": g, "encrypt_only": g}}`` where
     each value is the geometric mean of normalized IPC over ``workloads``
     (default: the memory-intensive subset, as in the paper's summary bars).
+
+    The per-arity comparisons share one cache and process pool, so the
+    baseline (simulated once per workload) is reused across every arity.
     """
     workload_list = list(workloads) if workloads is not None else memory_intensive_workloads()
+    cache = resolve_cache(cache, cache_dir)
     summary: Dict[int, Dict[str, float]] = {}
     for arity in arities:
         if arity not in ARITY_GROUPS:
@@ -55,6 +70,9 @@ def arity_sweep(
             workloads=workload_list,
             baseline=baseline,
             experiment=experiment,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
         )
         summary[arity] = {
             role: comparison.gmean(config_name) for role, config_name in group.items()
@@ -67,24 +85,32 @@ def counter_packing_sweep(
     packings: Iterable[int] = (8, 64, 128),
     experiment: Optional[ExperimentConfig] = None,
     baseline: str = "tdx_baseline",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> Dict[int, Dict[str, float]]:
-    """Right half of Figure 8: SecDDR / encrypt-only vs. counters per line."""
+    """Right half of Figure 8: SecDDR / encrypt-only vs. counters per line.
+
+    Shares its cache keys with :func:`arity_sweep` (the packing groups reuse
+    the same configurations), so running both sweeps against one cache only
+    simulates each unique (workload, configuration) pair once.
+    """
     workload_list = list(workloads) if workloads is not None else memory_intensive_workloads()
-    packing_groups = {
-        8: {"secddr": "secddr_ctr_pack8", "encrypt_only": "encrypt_only_ctr_pack8"},
-        64: {"secddr": "secddr_ctr", "encrypt_only": "encrypt_only_ctr"},
-        128: {"secddr": "secddr_ctr_pack128", "encrypt_only": "encrypt_only_ctr_pack128"},
-    }
+    cache = resolve_cache(cache, cache_dir)
     summary: Dict[int, Dict[str, float]] = {}
     for packing in packings:
-        if packing not in packing_groups:
+        if packing not in PACKING_GROUPS:
             raise KeyError("no configuration group for packing %d" % packing)
-        group = packing_groups[packing]
+        group = PACKING_GROUPS[packing]
         comparison = run_comparison(
             configurations=list(group.values()),
             workloads=workload_list,
             baseline=baseline,
             experiment=experiment,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
         )
         summary[packing] = {
             role: comparison.gmean(config_name) for role, config_name in group.items()

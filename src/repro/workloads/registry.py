@@ -8,7 +8,7 @@ rate benchmarks + 6 GAPBS kernels) in figure order, and knows which are
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.cpu.trace import MemoryTrace
 from repro.workloads.gapbs_like import GAPBS_PROFILES, build_gapbs_trace

@@ -22,6 +22,26 @@ class TestParser:
         assert args.workloads == "pr,mcf"
         assert args.accesses == 200
 
+    def test_compare_runner_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_compare_runner_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "-j", "4", "--cache-dir", "/tmp/c", "--no-cache", "--verbose"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+        assert args.verbose is True
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.arities == "8,64,128"
+        assert args.baseline == "tdx_baseline"
+        assert args.jobs == 1
+
 
 class TestCommands:
     def test_configs_lists_all(self, capsys):
@@ -62,3 +82,76 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "gcc" in out
         assert "gmean" in out
+
+    def test_compare_parallel_matches_serial_output(self, capsys):
+        argv = ["compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["-j", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_compare_uses_and_reports_cache(self, tmp_path, capsys):
+        argv = [
+            "compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+            "--cache-dir", str(tmp_path), "--verbose",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "cache: 0 hit(s), 2 miss(es)" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "cache: 2 hit(s), 0 miss(es)" in second.err
+        assert second.out == first.out
+
+    def test_compare_no_cache_writes_nothing(self, tmp_path, capsys):
+        argv = [
+            "compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+            "--cache-dir", str(tmp_path), "--no-cache",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_sweep_small_run(self, capsys):
+        exit_code = main([
+            "sweep", "-w", "mcf", "--arities", "64", "-a", "200", "-n", "1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "arity" in out
+        assert "packing" in out
+        assert "64" in out
+
+    def test_sweep_unsupported_arity_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--arities", "16", "-w", "mcf"]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported arity 16" in err
+        assert "8, 64, 128" in err
+
+    def test_sweep_non_numeric_arity_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--arities", "8x", "-w", "mcf"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_no_cache_disables_the_ephemeral_cache(self, capsys):
+        assert main([
+            "sweep", "-w", "mcf", "--arities", "64", "-a", "200", "-n", "1",
+            "--no-cache", "--verbose",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "cache hit" not in err
+        assert "cache:" not in err
+
+    def test_sweep_verbose_streams_per_job_progress(self, capsys):
+        assert main([
+            "sweep", "-w", "mcf", "--arities", "64", "-a", "200", "-n", "1", "--verbose",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "tdx_baseline" in err and "mcf" in err  # per-job completion lines
+
+    def test_scalability_measured(self, capsys):
+        assert main(["scalability", "--measured", "-a", "200", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1024 GiB" in out  # analytic table still printed
+        assert "Measured gmean normalized IPC" in out
+        assert "secddr_xts" in out
