@@ -12,17 +12,22 @@ counter packings perform similarly.
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs, bench_workloads
+from conftest import bench_cache, bench_experiment, bench_jobs, bench_workloads
 
-from repro.sim.sweep import ARITY_GROUPS, arity_sweep, counter_packing_sweep
+from repro.api import Session
+from repro.sim.sweep import arity_group
 
 
 def _run_figure8():
-    experiment = bench_experiment()
-    workloads = bench_workloads(memory_intensive_only=True)
-    runner_kwargs = bench_runner_kwargs()
-    arity = arity_sweep(workloads=workloads, experiment=experiment, **runner_kwargs)
-    packing = counter_packing_sweep(workloads=workloads, experiment=experiment, **runner_kwargs)
+    # One session supplies the sweeps' shared budget, cache, and pool: the
+    # canonical points (8, 64, 128) resolve to the named registry
+    # configurations, and any other arity would derive its configuration
+    # group on the fly — no pre-baked ``*_pack*`` name variants needed.
+    session = Session(
+        jobs=bench_jobs(), cache=bench_cache(), experiment=bench_experiment()
+    ).workloads(*bench_workloads(memory_intensive_only=True))
+    arity = session.arity_sweep(arities=(8, 64, 128))
+    packing = session.counter_packing_sweep(packings=(8, 64, 128))
     return arity, packing
 
 
@@ -35,7 +40,7 @@ def test_fig8_arity_and_packing_sensitivity(benchmark):
     print("=" * 78)
     print("%-10s %22s %12s %14s" % ("arity", "tree (normalized IPC)", "SecDDR", "encrypt-only"))
     for arity, values in arity_results.items():
-        tree_name = ARITY_GROUPS[arity]["tree"]
+        tree_name = arity_group(arity)["tree"]
         print("%-10d %22.3f %12.3f %14.3f   (tree config: %s)" % (
             arity, values["tree"], values["secddr"], values["encrypt_only"], tree_name,
         ))

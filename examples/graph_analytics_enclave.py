@@ -24,8 +24,9 @@ import struct
 
 import networkx as nx
 
+from repro.api import Session
 from repro.core import FunctionalMemorySystem, SecDDRConfig
-from repro.sim import ExperimentConfig, run_comparison
+from repro.sim import ExperimentConfig
 from repro.workloads import build_workload
 
 LINE_BYTES = 64
@@ -118,15 +119,19 @@ def compare_secure_memory_cost() -> None:
     print("=" * 72)
     print("2. Cost of protection for graph analytics (normalized IPC)")
     print("=" * 72)
+    session = Session(experiment=ExperimentConfig(num_accesses=2000, num_cores=2))
+    # Register the service's trace under its own name: it then behaves like
+    # any built-in workload (selectable by name, cached by content hash).
     trace = build_workload("pr", num_accesses=2000)
-    comparison = run_comparison(
-        configurations=["integrity_tree_64", "secddr_ctr", "secddr_xts", "encrypt_only_xts"],
-        workloads=[trace],
-        experiment=ExperimentConfig(num_accesses=2000, num_cores=2),
+    session.register_trace(trace, name="pagerank_service")
+    comparison = (
+        session.configs("integrity_tree_64", "secddr_ctr", "secddr_xts", "encrypt_only_xts")
+        .workloads("pagerank_service")
+        .compare()
     )
     print(comparison.format_table())
-    tree = comparison.normalized["integrity_tree_64"]["pr"]
-    secddr = comparison.normalized["secddr_xts"]["pr"]
+    tree = comparison.normalized["integrity_tree_64"]["pagerank_service"]
+    secddr = comparison.normalized["secddr_xts"]["pagerank_service"]
     print()
     print("For the PageRank-style workload, SecDDR+XTS delivers %.0f%% more "
           "performance than the 64-ary integrity tree." % (100.0 * (secddr / tree - 1.0)))

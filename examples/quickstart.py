@@ -8,19 +8,25 @@ This example exercises the two halves of the library:
    We mount a bus replay attack against it and against a TDX-like baseline
    (integrity but no replay protection) and show that only SecDDR detects it.
 
-2. The *performance* model (`repro.sim`): a small simulation comparing the
-   normalized performance of an integrity tree, SecDDR, and encrypt-only
-   memory on two workloads, reproducing the qualitative result of the
-   paper's Figure 6.
+2. The *performance* model, driven through the `repro.api.Session` facade: a
+   small simulation comparing the normalized performance of an integrity
+   tree (plus a derived 32-ary variant that exists nowhere in the registry),
+   SecDDR, and encrypt-only memory on two workloads, reproducing the
+   qualitative result of the paper's Figure 6.
 
 Run with:  python examples/quickstart.py
+(``REPRO_QUICKSTART_ACCESSES`` scales the simulation budget; CI uses a
+smaller value than the 1500-access default.)
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.api import Session
 from repro.attacks import BusReplayAttack
 from repro.core import FunctionalMemorySystem, SecDDRConfig
-from repro.sim import ExperimentConfig, run_comparison
+from repro.sim import ExperimentConfig
 
 
 def demonstrate_protocol() -> None:
@@ -53,20 +59,27 @@ def demonstrate_protocol() -> None:
 
 
 def demonstrate_performance() -> None:
-    """Small Figure-6-style comparison on two workloads."""
+    """Small Figure-6-style comparison through the fluent session API."""
     print()
     print("=" * 72)
     print("2. Performance model (normalized IPC vs. the TDX-like baseline)")
     print("=" * 72)
-    comparison = run_comparison(
-        configurations=["integrity_tree_64", "secddr_xts", "encrypt_only_xts"],
-        workloads=["pr", "gcc"],
-        experiment=ExperimentConfig(num_accesses=1500, num_cores=2),
+    accesses = int(os.environ.get("REPRO_QUICKSTART_ACCESSES", "1500"))
+    session = Session(experiment=ExperimentConfig(num_accesses=accesses, num_cores=2))
+    # Derived configurations are plain values: no registration, no name
+    # collision, and the result cache fingerprints their full spec.
+    tree_32 = session.derive("integrity_tree_64", tree_arity=32, counters_per_line=32)
+    comparison = (
+        session.configs("integrity_tree_64", tree_32, "secddr_xts", "encrypt_only_xts")
+        .workloads("pr", "gcc")
+        .compare()
     )
     print(comparison.format_table())
     print()
     print("SecDDR+XTS speedup over the 64-ary integrity tree: %.2fx"
           % comparison.speedup_over("secddr_xts", "integrity_tree_64"))
+    print("SecDDR+XTS speedup over the derived 32-ary tree  : %.2fx"
+          % comparison.speedup_over("secddr_xts", tree_32.name))
     print("SecDDR+XTS relative to encrypt-only XTS          : %.3f"
           % (comparison.gmean("secddr_xts") / comparison.gmean("encrypt_only_xts")))
 

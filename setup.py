@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "SecDDR reproduction: low-cost secure memories by protecting the DDR interface (DSN 2023)"
     ),

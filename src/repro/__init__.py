@@ -20,32 +20,66 @@ substrate its evaluation depends on:
 * :mod:`repro.analysis` -- power/area/security analytical models (Table II,
   Sections III-B/C and V-B).
 
-Quick start::
+Quick start (the documented entry point is :class:`repro.api.Session`)::
 
-    from repro.sim import run_comparison
-    result = run_comparison(
-        configurations=["integrity_tree_64", "secddr_xts", "encrypt_only_xts"],
-        workloads=["mcf", "pr", "lbm"],
+    from repro.api import Session
+    session = Session()
+    result = (
+        session.configs("integrity_tree_64", "secddr_xts", "encrypt_only_xts")
+        .workloads("mcf", "pr", "lbm")
+        .compare()
     )
     print(result.format_table())
+
+The functional layer (``run_comparison``/``run_simulation``) stays available
+for scripted use and accepts configuration/workload *values* as well as
+registered names.
 """
 
+from repro.api import Session
 from repro.core import FunctionalMemorySystem, SecDDRConfig
-from repro.secure import build_configuration, configuration_names
+from repro.errors import (
+    RegistryLookupError,
+    UnknownConfigurationError,
+    UnknownWorkloadError,
+)
+from repro.secure import (
+    SystemConfiguration,
+    build_configuration,
+    configuration_names,
+    register_configuration,
+    register_mechanism,
+    resolve_configuration,
+)
 from repro.sim import ExperimentConfig, run_comparison, run_simulation
-from repro.workloads import build_workload, workload_names
+from repro.workloads import (
+    build_workload,
+    register_trace,
+    register_workload,
+    workload_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Session",
     "FunctionalMemorySystem",
     "SecDDRConfig",
+    "RegistryLookupError",
+    "UnknownConfigurationError",
+    "UnknownWorkloadError",
+    "SystemConfiguration",
     "build_configuration",
     "configuration_names",
+    "register_configuration",
+    "register_mechanism",
+    "resolve_configuration",
     "ExperimentConfig",
     "run_comparison",
     "run_simulation",
     "build_workload",
+    "register_trace",
+    "register_workload",
     "workload_names",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 from repro.secure.integrity_tree import TreeGeometry, hash_merkle_tree_geometry
 
 if TYPE_CHECKING:  # pragma: no cover - keeps repro.analysis import light
+    from repro.secure.configs import ConfigurationLike
     from repro.sim.experiment import ExperimentConfig
     from repro.sim.runner import ProgressHook, ResultCache
 
@@ -134,8 +135,10 @@ def scalability_sweep(
 
 def measured_protection_overheads(
     workloads: Iterable[str] = ("mcf", "pr"),
-    configurations: Iterable[str] = ("integrity_tree_64", "secddr_ctr", "secddr_xts"),
-    baseline: str = "tdx_baseline",
+    configurations: "Iterable[ConfigurationLike]" = (
+        "integrity_tree_64", "secddr_ctr", "secddr_xts",
+    ),
+    baseline: "ConfigurationLike" = "tdx_baseline",
     experiment: "Optional[ExperimentConfig]" = None,
     jobs: int = 1,
     cache: "Optional[ResultCache]" = None,

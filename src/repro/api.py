@@ -1,0 +1,294 @@
+"""The documented entry point: a fluent session over the experiment stack.
+
+:class:`Session` bundles the knobs every experiment shares (parallelism,
+result cache, experiment budget, normalization baseline, progress hook) and
+exposes the library's capabilities as a small fluent surface::
+
+    from repro.api import Session
+
+    session = Session(cache_dir="~/.cache/repro/sim", jobs=4)
+    wide_tree = session.derive("integrity_tree_64", tree_arity=32,
+                               counters_per_line=32)
+    result = (
+        session.configs("secddr_ctr", wide_tree)
+        .workloads("mcf", "pr")
+        .compare()
+    )
+    print(result.format_table())
+
+Everything a :class:`Session` accepts is a *value*, not just a name:
+configurations may be registered names or any
+:class:`~repro.secure.configs.SystemConfiguration` (e.g. produced by
+:meth:`Session.derive`), and workloads may be registered names or pre-built
+:class:`~repro.cpu.trace.MemoryTrace` instances.  Custom mechanisms and
+workloads plug in through :meth:`Session.register_mechanism`,
+:meth:`Session.register_workload` and :meth:`Session.register_trace`; the
+on-disk result cache keys off the full configuration spec and the workload's
+cache token, so derived and custom inputs cache correctly by construction.
+
+One caveat for ``jobs > 1``: worker processes resolve registered names from
+their own copy of the registries.  With the ``fork`` start method (the Linux
+default) they inherit every registration automatically; on platforms whose
+``multiprocessing`` start method is ``spawn`` (macOS/Windows defaults),
+perform registrations at module top level — workers re-import the main
+module, so top-level registrations are re-applied — or run with ``jobs=1``.
+Derived configurations and pre-built traces are unaffected either way: they
+travel inside the pickled job itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.cpu.trace import MemoryTrace
+from repro.secure.configs import (
+    ConfigurationLike,
+    MechanismFactory,
+    SystemConfiguration,
+)
+from repro.secure.configs import REGISTRY as CONFIGURATION_REGISTRY
+from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.sim.results import ComparisonResult, SimulationResult
+from repro.sim.runner import (
+    ParallelRunner,
+    ProgressHook,
+    ResultCache,
+    SimulationJob,
+    resolve_cache,
+)
+from repro.sim.sweep import arity_sweep, counter_packing_sweep
+from repro.workloads.registry import REGISTRY as WORKLOAD_REGISTRY
+from repro.workloads.registry import WorkloadBuilder, WorkloadSpec
+
+__all__ = ["Session"]
+
+WorkloadLike = Union[str, MemoryTrace]
+
+
+class Session:
+    """A configured experiment session: the fluent front door to the library.
+
+    All mutating setters return ``self`` so calls chain; the terminal
+    methods (:meth:`run`, :meth:`compare`, :meth:`arity_sweep`,
+    :meth:`counter_packing_sweep`) execute through the shared parallel
+    runner and result cache.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache: Optional[ResultCache] = None,
+        experiment: Optional[ExperimentConfig] = None,
+        baseline: ConfigurationLike = "tdx_baseline",
+        progress: Optional[ProgressHook] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = resolve_cache(cache, cache_dir)
+        self.experiment = experiment or ExperimentConfig()
+        self.baseline = baseline
+        self.progress = progress
+        self._configs: List[ConfigurationLike] = []
+        self._workloads: List[WorkloadLike] = []
+
+    # -- fluent selection ----------------------------------------------
+    def configs(self, *configurations: ConfigurationLike) -> "Session":
+        """Select configurations (names or specs); validates names eagerly."""
+        for configuration in configurations:
+            # Resolving now surfaces typos at selection time, with the
+            # registry's closest-match error, instead of mid-run.
+            CONFIGURATION_REGISTRY.resolve(configuration)
+            self._configs.append(configuration)
+        return self
+
+    def workloads(self, *workloads: WorkloadLike) -> "Session":
+        """Select workloads (names or traces); validates names eagerly."""
+        for workload in workloads:
+            if isinstance(workload, str):
+                WORKLOAD_REGISTRY[workload]
+            self._workloads.append(workload)
+        return self
+
+    def clear(self) -> "Session":
+        """Forget the selected configurations and workloads (cache stays)."""
+        self._configs = []
+        self._workloads = []
+        return self
+
+    def with_experiment(self, experiment: Optional[ExperimentConfig] = None, **overrides) -> "Session":
+        """Replace the experiment budget, or tweak fields of the current one."""
+        base = experiment or self.experiment
+        self.experiment = replace(base, **overrides) if overrides else base
+        return self
+
+    def with_baseline(self, baseline: ConfigurationLike) -> "Session":
+        self.baseline = baseline
+        return self
+
+    # -- composition ---------------------------------------------------
+    def derive(self, base: ConfigurationLike, **overrides) -> SystemConfiguration:
+        """A variant of ``base`` (name or spec) with ``overrides`` applied.
+
+        The result is a plain value: pass it to :meth:`configs` (or anywhere
+        a configuration is accepted) without registering it.
+        """
+        return CONFIGURATION_REGISTRY.resolve(base).derive(**overrides)
+
+    def register_configuration(
+        self, spec: SystemConfiguration, replace_existing: bool = False
+    ) -> SystemConfiguration:
+        """Add a named configuration to the registry (CLI/list visibility)."""
+        return CONFIGURATION_REGISTRY.register(spec, replace_existing=replace_existing)
+
+    def register_mechanism(
+        self,
+        name: str,
+        factory: MechanismFactory,
+        cache_token: str,
+        replace_existing: bool = False,
+    ) -> "Session":
+        """Plug in a factory for a new ``mechanism`` string.
+
+        Any :class:`SystemConfiguration` whose ``mechanism`` equals ``name``
+        then builds through ``factory`` — see
+        :meth:`repro.secure.configs.ConfigurationRegistry.register_mechanism`
+        for the factory signature.  ``cache_token`` identifies the factory's
+        behaviour in result-cache keys; bump it when the factory changes.
+        """
+        CONFIGURATION_REGISTRY.register_mechanism(
+            name, factory, cache_token=cache_token, replace_existing=replace_existing
+        )
+        return self
+
+    def register_workload(
+        self,
+        name: str,
+        builder: WorkloadBuilder,
+        cache_token: str,
+        mpki: float = 0.0,
+        write_fraction: float = 0.0,
+        replace_existing: bool = False,
+    ) -> WorkloadSpec:
+        """Register a custom trace builder under ``name``.
+
+        ``cache_token`` is mandatory: it identifies the builder's output in
+        result-cache keys (bump it when the builder changes).
+        """
+        return WORKLOAD_REGISTRY.register(
+            name,
+            builder,
+            cache_token=cache_token,
+            mpki=mpki,
+            write_fraction=write_fraction,
+            replace_existing=replace_existing,
+        )
+
+    def register_trace(
+        self,
+        trace: MemoryTrace,
+        name: Optional[str] = None,
+        cache_token: Optional[str] = None,
+        replace_existing: bool = False,
+    ) -> WorkloadSpec:
+        """Register a pre-built trace so it can be selected by name."""
+        return WORKLOAD_REGISTRY.register_trace(
+            trace, name=name, cache_token=cache_token, replace_existing=replace_existing
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self, workload: WorkloadLike, configuration: ConfigurationLike
+    ) -> SimulationResult:
+        """Simulate one (workload, configuration) pair with this session's budget.
+
+        Runs through the session's result cache, so repeated single-pair
+        runs (and pairs already simulated by a comparison) are free.
+        """
+        job = SimulationJob(
+            configuration=configuration, workload=workload, experiment=self.experiment
+        )
+        runner = ParallelRunner(jobs=1, cache=self.cache, progress=self.progress)
+        return runner.run([job])[0]
+
+    def compare(
+        self,
+        configurations: Optional[Iterable[ConfigurationLike]] = None,
+        workloads: Optional[Iterable[WorkloadLike]] = None,
+    ) -> ComparisonResult:
+        """Run the selected cross product, normalized to the session baseline."""
+        config_list = list(configurations) if configurations is not None else self._configs
+        workload_list = list(workloads) if workloads is not None else self._workloads
+        if not config_list:
+            raise ValueError("no configurations selected; call .configs(...) first")
+        if not workload_list:
+            raise ValueError("no workloads selected; call .workloads(...) first")
+        return run_comparison(
+            configurations=config_list,
+            workloads=workload_list,
+            baseline=self.baseline,
+            experiment=self.experiment,
+            jobs=self.jobs,
+            cache=self.cache,
+            progress=self.progress,
+        )
+
+    def arity_sweep(self, arities: Iterable[int] = (8, 64, 128)) -> Dict[int, Dict[str, float]]:
+        """Figure 8 (left): tree/SecDDR/encrypt-only gmean per tree arity.
+
+        Non-canonical arities derive their configuration group on the fly.
+        Uses the session's selected workloads, defaulting to the paper's
+        memory-intensive subset.
+        """
+        return arity_sweep(
+            workloads=self._sweep_workloads(),
+            arities=arities,
+            experiment=self.experiment,
+            baseline=self._baseline_name(),
+            jobs=self.jobs,
+            cache=self.cache,
+            progress=self.progress,
+        )
+
+    def counter_packing_sweep(
+        self, packings: Iterable[int] = (8, 64, 128)
+    ) -> Dict[int, Dict[str, float]]:
+        """Figure 8 (right): SecDDR/encrypt-only gmean per counters-per-line."""
+        return counter_packing_sweep(
+            workloads=self._sweep_workloads(),
+            packings=packings,
+            experiment=self.experiment,
+            baseline=self._baseline_name(),
+            jobs=self.jobs,
+            cache=self.cache,
+            progress=self.progress,
+        )
+
+    # -- introspection -------------------------------------------------
+    def configuration_registry(self):
+        return CONFIGURATION_REGISTRY
+
+    def workload_registry(self):
+        return WORKLOAD_REGISTRY
+
+    @property
+    def cache_stats(self) -> Optional[Tuple[int, int]]:
+        """(hits, misses) of the session cache, or None when caching is off."""
+        if self.cache is None:
+            return None
+        return (self.cache.hits, self.cache.misses)
+
+    def _sweep_workloads(self) -> Optional[List[WorkloadLike]]:
+        return list(self._workloads) if self._workloads else None
+
+    def _baseline_name(self) -> ConfigurationLike:
+        return self.baseline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "Session(jobs=%d, cache=%s, configs=%d, workloads=%d)" % (
+            self.jobs,
+            getattr(self.cache, "directory", None),
+            len(self._configs),
+            len(self._workloads),
+        )

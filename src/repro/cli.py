@@ -3,14 +3,20 @@
 Gives downstream users a way to drive the main experiments without writing
 Python::
 
+    python -m repro.cli list                       # both registries at a glance
     python -m repro.cli configs                    # list configurations
     python -m repro.cli workloads                  # list workloads
     python -m repro.cli compare -w pr,mcf -c integrity_tree_64,secddr_xts
-    python -m repro.cli sweep --arities 8,64,128   # Figure 8 arity sweep
+    python -m repro.cli compare --set tree_arity=32 --set counters_per_line=32
+    python -m repro.cli sweep --arities 8,32,64    # Figure 8 arity sweep (any arity)
     python -m repro.cli attack                     # attack detection matrix
     python -m repro.cli power                      # Table II power model
     python -m repro.cli security                   # Section III arithmetic
     python -m repro.cli scalability                # tree-vs-SecDDR scaling
+
+``--set key=value`` derives unnamed configuration variants on the fly —
+they run through the parallel runner, the result cache, and baseline
+normalization exactly like registered configurations do.
 
 Every subcommand prints the same tables the benchmark harness records under
 ``benchmarks/results/``.
@@ -22,21 +28,37 @@ import argparse
 import os
 import sys
 import tempfile
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.power import table2_power_overheads
 from repro.analysis.scalability import scalability_sweep
 from repro.analysis.security_math import SecurityAnalysis
 from repro.attacks.campaign import AttackCampaign, run_standard_campaign
-from repro.secure.configs import CONFIGURATIONS, configuration_names
+from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
+from repro.errors import AmbiguousConfigurationError, RegistryLookupError
+from repro.secure.configs import (
+    CONFIGURATIONS,
+    ConfigurationLike,
+    SystemConfiguration,
+    configuration_names,
+    resolve_configuration,
+)
+from repro.secure.encryption import EncryptionMode
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.runner import JobEvent, ProgressHook, ResultCache
-from repro.sim.sweep import ARITY_GROUPS, PACKING_GROUPS, arity_sweep, counter_packing_sweep
+from repro.sim.sweep import arity_sweep, counter_packing_sweep
 from repro.workloads.registry import ALL_WORKLOADS, workload_names
 
 __all__ = ["build_parser", "main"]
 
 GB = 2**30
+
+#: Named timing presets accepted by ``--set timing=...``.
+TIMING_PRESETS = {
+    "ddr4_3200": DDR4_3200,
+    "ddr4_2400": DDR4_2400,
+    "ddr5_4800": DDR5_4800,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    subparsers.add_parser(
+        "list", help="print the configuration and workload registries as tables"
+    )
     subparsers.add_parser("configs", help="list the named secure-memory configurations")
     subparsers.add_parser("workloads", help="list the available workloads")
     subparsers.add_parser("attack", help="run the attack campaign and print the detection matrix")
@@ -80,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
     compare.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
     compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_set_argument(compare)
     _add_runner_arguments(compare)
 
     sweep = subparsers.add_parser(
@@ -91,13 +117,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated workload names (default: the memory-intensive subset)",
     )
     sweep.add_argument(
-        "--arities", default="8,64,128", help="comma-separated tree arities / counter packings"
+        "--arities", default="8,64,128",
+        help="comma-separated tree arities / counter packings (any integer >= 2; "
+        "non-canonical values derive their configurations on the fly)",
     )
     sweep.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
     sweep.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
     sweep.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_set_argument(sweep)
     _add_runner_arguments(sweep)
     return parser
+
+
+def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="override a SystemConfiguration field on every evaluated configuration "
+        "(repeatable), e.g. --set tree_arity=32 --set timing=ddr5_4800; the "
+        "normalization baseline keeps its canonical parameters",
+    )
 
 
 def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -151,6 +189,111 @@ def _print_cache_stats(args: argparse.Namespace, cache: Optional[ResultCache]) -
 
 def _split(value: str) -> List[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
+
+
+class OverrideError(ValueError):
+    """A malformed or unknown ``--set`` override."""
+
+
+_BOOL_VALUES = {"true": True, "yes": True, "1": True, "false": False, "no": False, "0": False}
+
+
+def _field_types() -> Dict[str, str]:
+    """Field name -> annotation string of ``SystemConfiguration``.
+
+    Derived from the dataclass itself (annotations are strings under
+    ``from __future__ import annotations``), so new fields get --set support
+    with the right coercion automatically.
+    """
+    from dataclasses import fields
+
+    return {f.name: str(f.type) for f in fields(SystemConfiguration)}
+
+
+def _coerce_override(key: str, annotation: str, raw: str) -> object:
+    """Parse one ``--set`` value into the field's Python type."""
+    if annotation == "EncryptionMode":
+        try:
+            return EncryptionMode(raw.lower())
+        except ValueError:
+            raise OverrideError(
+                "%s must be one of %s, got %r"
+                % (key, ", ".join(m.value for m in EncryptionMode), raw)
+            ) from None
+    if annotation == "DDRTimingParameters":
+        preset = TIMING_PRESETS.get(raw.lower().replace("-", "_"))
+        if preset is None:
+            raise OverrideError(
+                "%s must be one of %s, got %r" % (key, ", ".join(TIMING_PRESETS), raw)
+            )
+        return preset
+    if annotation == "bool":
+        value = _BOOL_VALUES.get(raw.lower())
+        if value is None:
+            raise OverrideError("%s must be true/false, got %r" % (key, raw))
+        return value
+    if annotation in ("int", "Optional[int]"):
+        if annotation == "Optional[int]" and raw.lower() == "none":
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise OverrideError("%s must be an integer, got %r" % (key, raw)) from None
+    # Remaining fields (name, description, mechanism, figure) are strings.
+    return raw
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    """Parse ``--set key=value`` pairs into ``derive()`` keyword overrides."""
+    field_types = _field_types()
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise OverrideError("--set expects KEY=VALUE, got %r" % pair)
+        if key not in field_types:
+            raise OverrideError(
+                "unknown configuration field %r; valid fields: %s"
+                % (key, ", ".join(sorted(field_types)))
+            )
+        overrides[key] = _coerce_override(key, field_types[key], raw.strip())
+    return overrides
+
+
+def _derived_configurations(
+    names: List[str], overrides: Dict[str, object]
+) -> List[ConfigurationLike]:
+    """Apply ``--set`` overrides, deriving an unnamed variant per configuration."""
+    if not overrides:
+        return list(names)
+    if "name" in overrides and len(names) > 1:
+        # One explicit name across several derived specs would collide in the
+        # result matrix (names key the normalization table).
+        raise OverrideError(
+            "--set name=... cannot be combined with multiple configurations "
+            "(%s) — every derived spec would share one name" % ", ".join(names)
+        )
+    return [resolve_configuration(name).derive(**overrides) for name in names]
+
+
+def _cmd_list() -> int:
+    print("Configuration registry (%d entries)" % len(CONFIGURATIONS))
+    print("%-28s %-10s %-10s %s" % ("name", "mechanism", "encryption", "figure"))
+    for name in configuration_names():
+        spec = CONFIGURATIONS[name]
+        print("%-28s %-10s %-10s %s" % (
+            name, spec.mechanism, spec.encryption.value, spec.figure or "-",
+        ))
+    print()
+    print("Workload registry (%d entries)" % len(ALL_WORKLOADS))
+    print("%-14s %-10s %8s %s" % ("name", "suite", "MPKI", "memory-intensive"))
+    for name in workload_names():
+        spec = ALL_WORKLOADS[name]
+        print("%-14s %-10s %8.1f %s" % (
+            name, spec.suite, spec.mpki, "yes" if spec.memory_intensive else "no",
+        ))
+    return 0
 
 
 def _cmd_configs() -> int:
@@ -235,8 +378,11 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
     cache = _build_cache(args)
+    configurations = _derived_configurations(
+        _split(args.configurations), _parse_overrides(args.overrides)
+    )
     comparison = run_comparison(
-        configurations=_split(args.configurations),
+        configurations=configurations,
         workloads=_split(args.workloads),
         baseline=args.baseline,
         experiment=experiment,
@@ -274,21 +420,24 @@ def _run_sweep_command(
     args: argparse.Namespace, experiment: ExperimentConfig, cache: Optional[ResultCache]
 ) -> int:
     workloads = _split(args.workloads) or None
-    # A value must drive both halves of Figure 8, so it has to exist in the
-    # arity table and the counter-packing table.
-    supported = sorted(set(ARITY_GROUPS) & set(PACKING_GROUPS))
     try:
         arities = [int(a) for a in _split(args.arities)]
     except ValueError:
-        print("error: --arities must be comma-separated integers (supported: %s)"
-              % ", ".join(map(str, supported)), file=sys.stderr)
+        print("error: --arities must be comma-separated integers >= 2", file=sys.stderr)
         return 2
-    unsupported = [a for a in arities if a not in supported]
-    if unsupported:
-        print("error: unsupported arity %s (supported: %s)"
-              % (", ".join(map(str, unsupported)), ", ".join(map(str, supported))),
+    invalid = [a for a in arities if a < 2]
+    if invalid:
+        print("error: arity must be >= 2, got %s" % ", ".join(map(str, invalid)),
               file=sys.stderr)
         return 2
+    sweep_overrides = _parse_overrides(args.overrides)
+    blocked = sorted({"name", "tree_arity", "counters_per_line"} & set(sweep_overrides))
+    if blocked:
+        raise OverrideError(
+            "--set %s is not supported for sweep: the sweep varies "
+            "arity/packing itself, and every spec in a sweep group must keep "
+            "its own name" % ", ".join(blocked)
+        )
     common = dict(
         workloads=workloads,
         experiment=experiment,
@@ -296,6 +445,7 @@ def _run_sweep_command(
         jobs=args.jobs,
         cache=cache,
         progress=_build_progress(args),
+        derive_overrides=sweep_overrides,
     )
     arity = arity_sweep(arities=arities, **common)
     packing = counter_packing_sweep(packings=arities, **common)
@@ -317,6 +467,19 @@ def _run_sweep_command(
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (RegistryLookupError, OverrideError, AmbiguousConfigurationError) as error:
+        # User-input problems only (unknown names, bad --set pairs, name
+        # collisions): one line on stderr.  Other exceptions stay loud —
+        # a traceback from the library is a bug, not a typo.
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
     if args.command == "configs":
         return _cmd_configs()
     if args.command == "workloads":

@@ -36,9 +36,14 @@ from repro.secure.secddr_model import SecDDRSystem
 from repro.secure.invisimem import InvisiMemSystem
 from repro.secure.configs import (
     SystemConfiguration,
+    ConfigurationRegistry,
     CONFIGURATIONS,
+    REGISTRY,
     build_configuration,
     configuration_names,
+    register_configuration,
+    register_mechanism,
+    resolve_configuration,
 )
 
 __all__ = [
@@ -58,7 +63,12 @@ __all__ = [
     "SecDDRSystem",
     "InvisiMemSystem",
     "SystemConfiguration",
+    "ConfigurationRegistry",
     "CONFIGURATIONS",
+    "REGISTRY",
     "build_configuration",
     "configuration_names",
+    "register_configuration",
+    "register_mechanism",
+    "resolve_configuration",
 ]

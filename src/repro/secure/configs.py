@@ -18,19 +18,27 @@ Name                       Meaning
 ``*_pack8`` / ``*_pack128``  Counter-packing variants for Figure 8.
 =========================  ==========================================================
 
-``build_configuration(name)`` assembles a fresh memory controller (with the
-right channel frequency and write-burst length), metadata cache and
+``build_configuration(name_or_spec)`` assembles a fresh memory controller
+(with the right channel frequency and write-burst length), metadata cache and
 secure-memory system, ready to be handed to :class:`repro.cpu.system.System`.
+
+Configurations are first-class *values*, not just names: any
+:class:`SystemConfiguration` — a registry entry, a ``derive()``-d variant, or
+one constructed from scratch — can be passed wherever a name is accepted
+(``build_configuration``, ``run_simulation``, ``run_comparison``, the sweeps,
+:class:`repro.api.Session`).  User-defined mechanisms plug in through
+:meth:`ConfigurationRegistry.register_mechanism`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.cache.metadata_cache import MetadataCache
 from repro.controller.memory_controller import ControllerConfig, MemoryController
 from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800, DDRTimingParameters
+from repro.errors import UnknownConfigurationError, UnknownMechanismError
 from repro.secure.base import MetadataLayout, SecureMemorySystem
 from repro.secure.baseline import EncryptOnlySystem, TdxBaselineSystem
 from repro.secure.encryption import EncryptionMode
@@ -40,8 +48,15 @@ from repro.secure.secddr_model import SecDDRSystem
 
 __all__ = [
     "SystemConfiguration",
+    "ConfigurationLike",
+    "ConfigurationRegistry",
+    "MechanismFactory",
     "CONFIGURATIONS",
+    "REGISTRY",
     "configuration_names",
+    "resolve_configuration",
+    "register_configuration",
+    "register_mechanism",
     "build_configuration",
     "PROTECTED_MEMORY_BYTES",
     "CRYPTO_LATENCY_CPU_CYCLES",
@@ -63,7 +78,7 @@ class SystemConfiguration:
 
     name: str
     description: str
-    mechanism: str  # "none", "tree", "hash_tree", "secddr", "invisimem"
+    mechanism: str  # built-ins: "none", "tdx_baseline", "tree", "hash_tree", "secddr", "invisimem"
     encryption: EncryptionMode
     timing: DDRTimingParameters = DDR4_3200
     tree_arity: Optional[int] = None
@@ -75,6 +90,41 @@ class SystemConfiguration:
     @property
     def uses_extended_write_burst(self) -> bool:
         return self.write_burst_cycles is not None and self.write_burst_cycles > self.timing.burst_cycles_write
+
+    def derive(self, **overrides) -> "SystemConfiguration":
+        """A new configuration equal to this one with ``overrides`` applied.
+
+        Unless an explicit ``name`` override is given, the derived
+        configuration names itself after its parent plus the overridden
+        fields (``secddr_ctr+tree_arity=32``), so distinct variants stay
+        distinguishable in tables and progress output.  Derived
+        configurations need no registration: every entry point accepts them
+        directly, and result-cache keys fingerprint the full spec, so two
+        different derivations can never collide in the cache.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise TypeError(
+                "unknown SystemConfiguration field(s) %s; valid fields: %s"
+                % (", ".join(unknown), ", ".join(sorted(valid)))
+            )
+        if "name" not in overrides:
+            summary = ",".join(
+                "%s=%s" % (key, _describe_value(value))
+                for key, value in sorted(overrides.items())
+            )
+            overrides["name"] = "%s+%s" % (self.name, summary) if summary else self.name
+        return replace(self, **overrides)
+
+
+def _describe_value(value: object) -> str:
+    """Short, stable rendering of an override value for derived names."""
+    if isinstance(value, EncryptionMode):
+        return value.value
+    if isinstance(value, DDRTimingParameters):
+        return value.name
+    return str(value)
 
 
 def _cfg(**kwargs) -> SystemConfiguration:
@@ -88,7 +138,7 @@ CONFIGURATIONS: Dict[str, SystemConfiguration] = {
         _cfg(
             name="tdx_baseline",
             description="TDX-like baseline: AES-XTS + MAC in ECC chips, no replay protection",
-            mechanism="none",
+            mechanism="tdx_baseline",
             encryption=EncryptionMode.XTS,
             replay_protection=False,
             figure="normalization baseline",
@@ -246,7 +296,7 @@ CONFIGURATIONS: Dict[str, SystemConfiguration] = {
         _cfg(
             name="tdx_baseline_ddr5",
             description="TDX-like baseline on a DDR5-4800 channel",
-            mechanism="none",
+            mechanism="tdx_baseline",
             encryption=EncryptionMode.XTS,
             timing=DDR5_4800,
             replay_protection=False,
@@ -275,27 +325,245 @@ CONFIGURATIONS: Dict[str, SystemConfiguration] = {
 }
 
 
+#: Anything the execution layer accepts as "a configuration".
+ConfigurationLike = Union[str, SystemConfiguration]
+
+#: A mechanism factory assembles the secure-memory system for one spec.  The
+#: controller and metadata cache are freshly built per call by
+#: :func:`build_configuration`, so factories never share mutable state.
+MechanismFactory = Callable[..., SecureMemorySystem]
+
+
+def _build_tree(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    return CounterIntegrityTreeSystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        arity=spec.tree_arity or 64,
+        counters_per_line=spec.counters_per_line,
+        protected_bytes=protected_bytes,
+    )
+
+
+def _build_hash_tree(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    return HashMerkleTreeSystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        arity=spec.tree_arity or 8,
+        protected_bytes=protected_bytes,
+    )
+
+
+def _build_secddr(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    return SecDDRSystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        encryption_mode=spec.encryption,
+        counters_per_line=spec.counters_per_line,
+    )
+
+
+def _build_invisimem(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    return InvisiMemSystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        encryption_mode=spec.encryption,
+        counters_per_line=spec.counters_per_line,
+        # Value equality, not identity: spec values travel pickled inside
+        # SimulationJobs, and an unpickled timing is equal but not identical.
+        realistic=spec.timing == DDR4_2400,
+    )
+
+
+def _build_none(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    # "none" is the encrypt-only upper bound; the TDX-like normalization
+    # baseline has its own mechanism string ("tdx_baseline") so renaming a
+    # spec via derive(name=...) can never flip which system class it builds.
+    return EncryptOnlySystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        encryption_mode=spec.encryption,
+        counters_per_line=spec.counters_per_line,
+    )
+
+
+def _build_tdx(spec, controller, metadata_cache, layout, crypto_latency, protected_bytes):
+    return TdxBaselineSystem(
+        controller,
+        metadata_cache,
+        layout,
+        crypto_latency,
+        encryption_mode=spec.encryption,
+        counters_per_line=spec.counters_per_line,
+    )
+
+
+class ConfigurationRegistry(Mapping):
+    """Named configurations plus the mechanism factories that build them.
+
+    The registry is a mapping from configuration name to
+    :class:`SystemConfiguration` (so ``registry["secddr_ctr"]``, iteration,
+    and ``in`` all work), extended with:
+
+    * :meth:`register` — add a user-defined named configuration.
+    * :meth:`register_mechanism` — plug in a factory for a new ``mechanism``
+      string, making any spec that references it buildable through every
+      entry point (``run_comparison``, sweeps, CLI, :class:`repro.api.Session`).
+    * :meth:`resolve` — turn a name *or* an unregistered spec into a spec.
+    """
+
+    def __init__(
+        self,
+        specs: Dict[str, SystemConfiguration],
+        mechanisms: Dict[str, MechanismFactory],
+        mechanism_tokens: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._specs = specs
+        self._mechanisms = mechanisms
+        self._mechanism_tokens = mechanism_tokens if mechanism_tokens is not None else {}
+
+    # -- mapping protocol ----------------------------------------------
+    def __getitem__(self, name: str) -> SystemConfiguration:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownConfigurationError(name, self._specs) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    # -- registration --------------------------------------------------
+    def register(
+        self, spec: SystemConfiguration, replace_existing: bool = False
+    ) -> SystemConfiguration:
+        """Add ``spec`` under ``spec.name``; returns the spec for chaining."""
+        if not isinstance(spec, SystemConfiguration):
+            raise TypeError("register() takes a SystemConfiguration, got %r" % (spec,))
+        if spec.name in self._specs and not replace_existing:
+            raise ValueError(
+                "configuration %r is already registered; pass replace_existing=True "
+                "to overwrite it" % spec.name
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a named configuration (unknown names raise)."""
+        if name not in self._specs:
+            raise UnknownConfigurationError(name, self._specs)
+        del self._specs[name]
+
+    def register_mechanism(
+        self,
+        name: str,
+        factory: MechanismFactory,
+        cache_token: str,
+        replace_existing: bool = False,
+    ) -> None:
+        """Register ``factory`` to build specs whose ``mechanism == name``.
+
+        The factory is called as ``factory(spec, controller, metadata_cache,
+        layout, crypto_latency_cpu_cycles, protected_bytes)`` and must return
+        a :class:`~repro.secure.base.SecureMemorySystem`.  ``cache_token`` is
+        mandatory: it stands in for the factory's code in result-cache keys
+        (a spec only *names* its mechanism), so bump it whenever the
+        factory's timing behaviour changes — otherwise the cache would
+        silently serve results simulated by the old factory.
+        """
+        if not cache_token:
+            raise ValueError("custom mechanism %r needs a non-empty cache_token" % name)
+        if name in self._mechanisms and not replace_existing:
+            raise ValueError(
+                "mechanism %r already has a factory; pass replace_existing=True "
+                "to overwrite it" % name
+            )
+        self._mechanisms[name] = factory
+        self._mechanism_tokens[name] = cache_token
+
+    def mechanism_names(self) -> List[str]:
+        return list(self._mechanisms)
+
+    def mechanism_cache_token(self, name: str) -> Optional[str]:
+        """The cache identity of mechanism ``name``.
+
+        Built-in mechanisms return None (their behaviour is versioned by
+        ``CACHE_SCHEMA_VERSION``); user-registered ones return the explicit
+        token supplied at registration.
+        """
+        return self._mechanism_tokens.get(name)
+
+    def mechanism_factory(self, name: str) -> MechanismFactory:
+        try:
+            return self._mechanisms[name]
+        except KeyError:
+            raise UnknownMechanismError(name, self._mechanisms) from None
+
+    # -- lookup --------------------------------------------------------
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def resolve(self, configuration: ConfigurationLike) -> SystemConfiguration:
+        """The spec for ``configuration`` (a registered name, or a spec as-is)."""
+        if isinstance(configuration, SystemConfiguration):
+            return configuration
+        return self[configuration]
+
+
+#: Mechanism factories keyed by ``SystemConfiguration.mechanism``.
+_MECHANISM_BUILDERS: Dict[str, MechanismFactory] = {
+    "tree": _build_tree,
+    "hash_tree": _build_hash_tree,
+    "secddr": _build_secddr,
+    "invisimem": _build_invisimem,
+    "none": _build_none,
+    "tdx_baseline": _build_tdx,
+}
+
+#: Cache tokens of user-registered mechanisms (built-ins have none).
+_MECHANISM_CACHE_TOKENS: Dict[str, str] = {}
+
+#: The default registry.  It wraps (and stays in sync with) ``CONFIGURATIONS``.
+REGISTRY = ConfigurationRegistry(CONFIGURATIONS, _MECHANISM_BUILDERS, _MECHANISM_CACHE_TOKENS)
+
+#: Module-level conveniences mirroring the registry methods.
+register_configuration = REGISTRY.register
+register_mechanism = REGISTRY.register_mechanism
+resolve_configuration = REGISTRY.resolve
+
+
 def configuration_names() -> List[str]:
     """All configuration names in declaration order."""
     return list(CONFIGURATIONS)
 
 
 def build_configuration(
-    name: str,
+    configuration: ConfigurationLike,
     metadata_cache_bytes: int = 128 * 1024,
     protected_bytes: int = PROTECTED_MEMORY_BYTES,
     crypto_latency_cpu_cycles: int = CRYPTO_LATENCY_CPU_CYCLES,
 ) -> SecureMemorySystem:
-    """Assemble a fresh secure-memory system for configuration ``name``.
+    """Assemble a fresh secure-memory system for ``configuration``.
 
-    A new memory controller, channel, and metadata cache are created on each
-    call so simulations never share state.
+    ``configuration`` may be a registered name or any
+    :class:`SystemConfiguration` value (e.g. one produced by
+    :meth:`SystemConfiguration.derive`).  A new memory controller, channel,
+    and metadata cache are created on each call so simulations never share
+    state; the spec's ``mechanism`` string selects the factory, which may be
+    a user-registered one.
     """
-    if name not in CONFIGURATIONS:
-        raise KeyError(
-            "unknown configuration %r; known: %s" % (name, ", ".join(CONFIGURATIONS))
-        )
-    spec = CONFIGURATIONS[name]
+    spec = REGISTRY.resolve(configuration)
     controller = MemoryController(
         ControllerConfig(
             timing=spec.timing,
@@ -304,60 +572,7 @@ def build_configuration(
     )
     metadata_cache = MetadataCache(size_bytes=metadata_cache_bytes)
     layout = MetadataLayout()
-
-    if spec.mechanism == "tree":
-        return CounterIntegrityTreeSystem(
-            controller,
-            metadata_cache,
-            layout,
-            crypto_latency_cpu_cycles,
-            arity=spec.tree_arity or 64,
-            counters_per_line=spec.counters_per_line,
-            protected_bytes=protected_bytes,
-        )
-    if spec.mechanism == "hash_tree":
-        return HashMerkleTreeSystem(
-            controller,
-            metadata_cache,
-            layout,
-            crypto_latency_cpu_cycles,
-            arity=spec.tree_arity or 8,
-            protected_bytes=protected_bytes,
-        )
-    if spec.mechanism == "secddr":
-        return SecDDRSystem(
-            controller,
-            metadata_cache,
-            layout,
-            crypto_latency_cpu_cycles,
-            encryption_mode=spec.encryption,
-            counters_per_line=spec.counters_per_line,
-        )
-    if spec.mechanism == "invisimem":
-        return InvisiMemSystem(
-            controller,
-            metadata_cache,
-            layout,
-            crypto_latency_cpu_cycles,
-            encryption_mode=spec.encryption,
-            counters_per_line=spec.counters_per_line,
-            realistic=spec.timing is DDR4_2400,
-        )
-    # mechanism == "none": baseline or encrypt-only.
-    if name.startswith("tdx"):
-        return TdxBaselineSystem(
-            controller,
-            metadata_cache,
-            layout,
-            crypto_latency_cpu_cycles,
-            encryption_mode=spec.encryption,
-            counters_per_line=spec.counters_per_line,
-        )
-    return EncryptOnlySystem(
-        controller,
-        metadata_cache,
-        layout,
-        crypto_latency_cpu_cycles,
-        encryption_mode=spec.encryption,
-        counters_per_line=spec.counters_per_line,
+    factory = REGISTRY.mechanism_factory(spec.mechanism)
+    return factory(
+        spec, controller, metadata_cache, layout, crypto_latency_cpu_cycles, protected_bytes
     )

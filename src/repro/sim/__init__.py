@@ -21,7 +21,7 @@ from repro.sim.experiment import (
     run_comparison,
     default_system_parameters,
 )
-from repro.sim.sweep import arity_sweep, counter_packing_sweep
+from repro.sim.sweep import arity_group, arity_sweep, counter_packing_sweep, packing_group
 
 __all__ = [
     "geometric_mean",
@@ -37,6 +37,8 @@ __all__ = [
     "run_simulation",
     "run_comparison",
     "default_system_parameters",
+    "arity_group",
     "arity_sweep",
     "counter_packing_sweep",
+    "packing_group",
 ]

@@ -1,10 +1,15 @@
 """Experiment runner: simulate (workload, configuration) pairs and compare.
 
-This module is the entry point the benchmark harness and the examples use.
-``run_simulation`` simulates one workload under one named secure-memory
+This module is the entry point the benchmark harness and the examples build
+on (the documented user-facing facade is :class:`repro.api.Session`).
+``run_simulation`` simulates one workload under one secure-memory
 configuration; ``run_comparison`` runs a set of configurations over a set of
 workloads and normalizes everything to the TDX-like baseline, which is
 exactly how the paper presents Figures 6, 8, 10 and 12.
+
+Configurations may be registry names or :class:`SystemConfiguration` values
+(including unregistered ``derive()``-d variants); workloads may be registry
+names or pre-built :class:`MemoryTrace` instances.
 """
 
 from __future__ import annotations
@@ -17,7 +22,12 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.cpu.core import CoreConfig
 from repro.cpu.system import System, SystemConfig
 from repro.cpu.trace import MemoryTrace
-from repro.secure.configs import CONFIGURATIONS, build_configuration
+from repro.errors import AmbiguousConfigurationError
+from repro.secure.configs import (
+    ConfigurationLike,
+    build_configuration,
+    resolve_configuration,
+)
 from repro.sim.results import ComparisonResult, SimulationResult
 from repro.sim.runner import (
     ParallelRunner,
@@ -77,21 +87,23 @@ def _resolve_workload(workload: Union[str, MemoryTrace], config: ExperimentConfi
 
 def run_simulation(
     workload: Union[str, MemoryTrace],
-    configuration: str,
+    configuration: ConfigurationLike,
     experiment: Optional[ExperimentConfig] = None,
 ) -> SimulationResult:
     """Simulate ``workload`` under secure-memory ``configuration``.
 
-    The core clock is fixed at the paper's 3.2 GHz; the DRAM clock comes from
-    the configuration (1600 MHz, or 1200 MHz for the realistic InvisiMem
-    variants), so frequency-derating effects are captured automatically.
+    ``configuration`` may be a registry name or any ``SystemConfiguration``
+    value.  The core clock is fixed at the paper's 3.2 GHz; the DRAM clock
+    comes from the configuration (1600 MHz, or 1200 MHz for the realistic
+    InvisiMem variants), so frequency-derating effects are captured
+    automatically.
     """
     experiment = experiment or ExperimentConfig()
     trace = _resolve_workload(workload, experiment)
+    spec = resolve_configuration(configuration)
     memory = build_configuration(
-        configuration, metadata_cache_bytes=experiment.metadata_cache_bytes
+        spec, metadata_cache_bytes=experiment.metadata_cache_bytes
     )
-    spec = CONFIGURATIONS[configuration]
     core_config = CoreConfig(
         issue_width=experiment.issue_width,
         rob_entries=experiment.rob_entries,
@@ -114,7 +126,7 @@ def run_simulation(
     stats = memory.collect_stats()
     return SimulationResult(
         workload=trace.name,
-        configuration=configuration,
+        configuration=spec.name,
         total_ipc=result.total_ipc,
         total_instructions=result.total_instructions,
         total_cycles=result.total_cycles,
@@ -124,9 +136,9 @@ def run_simulation(
 
 
 def run_comparison(
-    configurations: Iterable[str],
+    configurations: Iterable[ConfigurationLike],
     workloads: Iterable[Union[str, MemoryTrace]],
-    baseline: str = "tdx_baseline",
+    baseline: ConfigurationLike = "tdx_baseline",
     experiment: Optional[ExperimentConfig] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
@@ -135,17 +147,36 @@ def run_comparison(
 ) -> ComparisonResult:
     """Run every configuration over every workload and normalize to ``baseline``.
 
-    ``jobs`` fans the (workload, configuration) cross product out over a
-    process pool; results are identical to the serial path because every job
-    is deterministic and self-contained.  Passing ``cache`` (or a
-    ``cache_dir`` to build one from) reuses previously simulated pairs from
-    disk, so one warm cache serves repeated comparisons and sweeps.
+    Configurations (and the baseline) may be registry names or
+    ``SystemConfiguration`` values.  ``jobs`` fans the (workload,
+    configuration) cross product out over a process pool; results are
+    identical to the serial path because every job is deterministic and
+    self-contained.  Passing ``cache`` (or a ``cache_dir`` to build one
+    from) reuses previously simulated pairs from disk, so one warm cache
+    serves repeated comparisons and sweeps.
     """
     experiment = experiment or ExperimentConfig()
     cache = resolve_cache(cache, cache_dir)
     config_list = list(configurations)
-    if baseline not in config_list:
+    baseline_spec = resolve_configuration(baseline)
+    baseline_name = baseline_spec.name
+    config_names = [
+        c if isinstance(c, str) else c.name for c in config_list
+    ]
+    if baseline_name in config_names:
+        # Names are user-controlled (derive(name=...)), so a name match must
+        # not silently stand in for the baseline: normalizing a different
+        # spec to itself would print a meaningless all-1.0 table.
+        entry = config_list[config_names.index(baseline_name)]
+        if resolve_configuration(entry) != baseline_spec:
+            raise AmbiguousConfigurationError(
+                "configuration named %r differs from the %r baseline spec; "
+                "rename the derived configuration (derive(name=...)) or pass "
+                "it as the baseline" % (baseline_name, baseline_name)
+            )
+    else:
         config_list = [baseline] + config_list
+        config_names = [baseline_name] + config_names
     workload_list = list(workloads)
 
     # Named workloads are passed to the jobs unresolved: trace construction
@@ -166,18 +197,18 @@ def run_comparison(
         for config, per_workload in results.items()
     }
 
-    normalized: Dict[str, Dict[str, float]] = {c: {} for c in config_list}
+    normalized: Dict[str, Dict[str, float]] = {c: {} for c in config_names}
     for workload_name in workload_names:
-        base_ipc = raw[baseline][workload_name]
-        for config in config_list:
+        base_ipc = raw[baseline_name][workload_name]
+        for config in config_names:
             normalized[config][workload_name] = (
                 raw[config][workload_name] / base_ipc if base_ipc > 0 else 0.0
             )
 
     return ComparisonResult(
-        baseline=baseline,
+        baseline=baseline_name,
         workloads=workload_names,
-        configurations=config_list,
+        configurations=config_names,
         raw_ipc=raw,
         normalized=normalized,
         results=results,

@@ -38,10 +38,17 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cpu.trace import MemoryTrace
-from repro.secure.configs import CONFIGURATIONS
+from repro.errors import AmbiguousConfigurationError
+from repro.secure.configs import (
+    CONFIGURATIONS,
+    ConfigurationLike,
+    SystemConfiguration,
+    resolve_configuration,
+)
+from repro.secure.configs import REGISTRY as CONFIGURATION_REGISTRY
 from repro.sim.results import SimulationResult
-from repro.workloads.gapbs_like import GAPBS_PROFILES
-from repro.workloads.spec_like import SPEC_PROFILES
+from repro.workloads.registry import REGISTRY as WORKLOAD_REGISTRY
+from repro.workloads.registry import trace_cache_token
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.sim.experiment import ExperimentConfig
@@ -65,13 +72,15 @@ def workload_profile_token(name: str) -> str:
     Part of both the disk-cache key and the in-process trace memo key, so
     tuning a profile invalidates cached results and rebuilds traces in the
     same breath -- neither layer can serve output of the old profile.
+    Registry-registered custom workloads contribute their explicit cache
+    token (or registered trace's content hash) instead.
     """
-    profile = SPEC_PROFILES.get(name) or GAPBS_PROFILES.get(name)
-    return repr(profile)
+    return WORKLOAD_REGISTRY.cache_token_for(name)
 
 #: Bump whenever the cached payload layout (or simulator semantics) changes;
 #: entries written under another schema version are treated as misses.
-CACHE_SCHEMA_VERSION = 1
+#: v2: cache keys gained the mechanism cache token (custom mechanisms).
+CACHE_SCHEMA_VERSION = 2
 
 
 def resolve_cache(
@@ -102,37 +111,31 @@ def workload_cache_token(workload: Union[str, MemoryTrace]) -> str:
     """
     if isinstance(workload, str):
         return "name:%s;profile:%s" % (workload, workload_profile_token(workload))
-    # Content hashing is O(records); memoize per trace instance so a
-    # comparison keying the same trace once per configuration (and repeated
-    # runs over one trace object) only pays for it once.
-    token = getattr(workload, "_cache_token", None)
-    if token is None:
-        digest = hashlib.sha256()
-        digest.update(workload.name.encode("utf-8"))
-        for record in workload:
-            digest.update(
-                ("%d,%d,%d;"
-                 % (record.instruction_gap, int(record.is_write), record.address)).encode()
-            )
-        token = "trace:%s" % digest.hexdigest()
-        workload._cache_token = token
-    return token
+    return trace_cache_token(workload)
 
 
 @dataclass(frozen=True)
 class SimulationJob:
     """One independent (workload, configuration) simulation.
 
-    ``workload`` may be a registry name or a pre-built trace; either way the
-    job is self-contained and picklable, which is what lets a worker process
-    execute it without any shared state.  Named workloads are resolved to
-    traces inside the worker, so a job satisfied by the cache never builds
-    its trace at all.
+    ``workload`` may be a registry name or a pre-built trace, and
+    ``configuration`` may be a registry name or a
+    :class:`~repro.secure.configs.SystemConfiguration` value (e.g. a derived
+    variant that was never registered); either way the job is self-contained
+    and picklable, which is what lets a worker process execute it without
+    any shared state.  Named workloads are resolved to traces inside the
+    worker, so a job satisfied by the cache never builds its trace at all.
     """
 
-    configuration: str
+    configuration: ConfigurationLike
     workload: Union[str, MemoryTrace]
     experiment: "ExperimentConfig"
+
+    @property
+    def configuration_name(self) -> str:
+        if isinstance(self.configuration, str):
+            return self.configuration
+        return self.configuration.name
 
     @property
     def workload_name(self) -> str:
@@ -143,13 +146,28 @@ class SimulationJob:
 
         The configuration contributes its full declarative spec, not just its
         name, so edits to a configuration's parameters (timings, packing,
-        cache sizes, ...) invalidate cached results automatically.  Changes
-        to simulator *logic* still require a ``CACHE_SCHEMA_VERSION`` bump.
+        cache sizes, ...) invalidate cached results automatically -- and an
+        unregistered spec that equals a registered one field-for-field hits
+        the same cache entries as its name would.  Changes to simulator
+        *logic* still require a ``CACHE_SCHEMA_VERSION`` bump.
         """
+        if isinstance(self.configuration, SystemConfiguration):
+            spec = self.configuration
+        else:
+            spec = CONFIGURATIONS.get(self.configuration)
+        # Custom mechanism factories contribute their explicit cache token
+        # (the spec only names the mechanism; the factory's behaviour lives
+        # in code the cache cannot hash).  Built-ins are covered by
+        # CACHE_SCHEMA_VERSION and contribute None.
+        mechanism_token = (
+            CONFIGURATION_REGISTRY.mechanism_cache_token(spec.mechanism)
+            if spec is not None else None
+        )
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
-            "configuration": self.configuration,
-            "configuration_spec": repr(CONFIGURATIONS.get(self.configuration)),
+            "configuration": self.configuration_name,
+            "configuration_spec": repr(spec),
+            "mechanism": mechanism_token,
             "workload": workload_cache_token(self.workload),
             "experiment": asdict(self.experiment),
         }
@@ -288,13 +306,17 @@ class ParallelRunner:
             cached = self.cache.get(key) if key is not None else None
             if cached is not None:
                 results[index] = cached
-                self._emit(JobEvent(job.configuration, job.workload_name, "cached", index, total))
+                self._emit(
+                    JobEvent(job.configuration_name, job.workload_name, "cached", index, total)
+                )
             else:
                 pending.append((index, job, key))
 
         if pending:
             for index, job, _ in pending:
-                self._emit(JobEvent(job.configuration, job.workload_name, "start", index, total))
+                self._emit(
+                    JobEvent(job.configuration_name, job.workload_name, "start", index, total)
+                )
             pending_jobs = [job for _, job, _ in pending]
             if self.jobs == 1 or len(pending) == 1:
                 self._consume(pending, map(_execute_job, pending_jobs), results, total)
@@ -317,24 +339,44 @@ class ParallelRunner:
             if self.cache is not None and key is not None:
                 self.cache.put(key, result)
             self._emit(
-                JobEvent(job.configuration, job.workload_name, "done", index, total, elapsed)
+                JobEvent(job.configuration_name, job.workload_name, "done", index, total, elapsed)
             )
 
     # ------------------------------------------------------------------
     def run_matrix(
         self,
-        configurations: Sequence[str],
+        configurations: Sequence[ConfigurationLike],
         workloads: Sequence[Union[str, MemoryTrace]],
         experiment: "ExperimentConfig",
     ) -> Dict[str, Dict[str, SimulationResult]]:
-        """Run the full cross product; returns ``{config: {workload: result}}``."""
+        """Run the full cross product; returns ``{config name: {workload: result}}``.
+
+        Configurations may be names or :class:`SystemConfiguration` values;
+        the result table is keyed by name either way.  Exact duplicates are
+        collapsed and run once, but two *different* specs sharing one name
+        would be indistinguishable in the table -- that is rejected.
+        """
+        seen: Dict[str, ConfigurationLike] = {}
+        config_list: List[ConfigurationLike] = []
+        for config in configurations:
+            name = config if isinstance(config, str) else config.name
+            if name in seen:
+                if resolve_configuration(config) != resolve_configuration(seen[name]):
+                    raise AmbiguousConfigurationError(
+                        "two different configurations share the name %r; give "
+                        "derived specs distinct names (derive(name=...))" % name
+                    )
+                continue
+            seen[name] = config
+            config_list.append(config)
+        names = list(seen)
         job_list = [
             SimulationJob(configuration=config, workload=workload, experiment=experiment)
             for workload in workloads
-            for config in configurations
+            for config in config_list
         ]
         outcomes = self.run(job_list)
-        table: Dict[str, Dict[str, SimulationResult]] = {c: {} for c in configurations}
+        table: Dict[str, Dict[str, SimulationResult]] = {name: {} for name in names}
         for job, result in zip(job_list, outcomes):
-            table[job.configuration][job.workload_name] = result
+            table[job.configuration_name][job.workload_name] = result
         return table

@@ -1,15 +1,30 @@
-"""Parameter sweeps: tree arity and counter packing (Figure 8)."""
+"""Parameter sweeps: tree arity and counter packing (Figure 8).
+
+The canonical points (8, 64, 128) use the named registry configurations, so
+their cache keys line up with the figure benchmarks.  Any *other* value is
+supported too: its configuration group is derived on the fly from the 64-ary
+bases with :meth:`SystemConfiguration.derive`, which flows through the
+runner and the result cache exactly like a named configuration.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, Mapping, Optional, Union
 
+from repro.secure.configs import CONFIGURATIONS, ConfigurationLike
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.runner import ProgressHook, ResultCache, resolve_cache
 from repro.workloads.registry import memory_intensive_workloads
 
-__all__ = ["ARITY_GROUPS", "PACKING_GROUPS", "arity_sweep", "counter_packing_sweep"]
+__all__ = [
+    "ARITY_GROUPS",
+    "PACKING_GROUPS",
+    "arity_group",
+    "packing_group",
+    "arity_sweep",
+    "counter_packing_sweep",
+]
 
 #: Figure 8 groups: for each arity, the tree configuration and the SecDDR /
 #: encrypt-only configurations using the matching counter packing.
@@ -39,15 +54,67 @@ PACKING_GROUPS: Dict[int, Dict[str, str]] = {
 }
 
 
+def _check_sweep_value(kind: str, value: int) -> None:
+    if not isinstance(value, int) or value < 2:
+        raise ValueError("%s must be an integer >= 2, got %r" % (kind, value))
+
+
+def arity_group(arity: int) -> Dict[str, ConfigurationLike]:
+    """The {tree, secddr, encrypt_only} group for ``arity``.
+
+    Canonical arities map to the named Figure 8 configurations; any other
+    value derives a counter tree of that arity (with matching counter
+    packing) plus packing-matched SecDDR / encrypt-only variants.
+    """
+    if arity in ARITY_GROUPS:
+        return dict(ARITY_GROUPS[arity])
+    _check_sweep_value("arity", arity)
+    return {
+        "tree": CONFIGURATIONS["integrity_tree_64"].derive(
+            tree_arity=arity, counters_per_line=arity
+        ),
+        "secddr": CONFIGURATIONS["secddr_ctr"].derive(counters_per_line=arity),
+        "encrypt_only": CONFIGURATIONS["encrypt_only_ctr"].derive(counters_per_line=arity),
+    }
+
+
+def packing_group(packing: int) -> Dict[str, ConfigurationLike]:
+    """The {secddr, encrypt_only} group for ``packing`` counters per line."""
+    if packing in PACKING_GROUPS:
+        return dict(PACKING_GROUPS[packing])
+    _check_sweep_value("packing", packing)
+    return {
+        "secddr": CONFIGURATIONS["secddr_ctr"].derive(counters_per_line=packing),
+        "encrypt_only": CONFIGURATIONS["encrypt_only_ctr"].derive(counters_per_line=packing),
+    }
+
+
+def _derive_group(
+    group: Dict[str, ConfigurationLike], overrides: Optional[Mapping[str, object]]
+) -> Dict[str, ConfigurationLike]:
+    """Apply ``derive()`` overrides to every configuration in a sweep group.
+
+    The normalization baseline is *not* part of the group, so it keeps its
+    canonical parameters — overrides shift the evaluated mechanisms only.
+    """
+    if not overrides:
+        return group
+    return {
+        role: (CONFIGURATIONS[config] if isinstance(config, str) else config).derive(**overrides)
+        for role, config in group.items()
+    }
+
+
 def arity_sweep(
     workloads: Optional[Iterable[str]] = None,
     arities: Iterable[int] = (8, 64, 128),
     experiment: Optional[ExperimentConfig] = None,
-    baseline: str = "tdx_baseline",
+    baseline: ConfigurationLike = "tdx_baseline",
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
+    derive_overrides: Optional[Mapping[str, object]] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 8: gmean normalized IPC per arity for tree/SecDDR/encrypt-only.
 
@@ -62,9 +129,7 @@ def arity_sweep(
     cache = resolve_cache(cache, cache_dir)
     summary: Dict[int, Dict[str, float]] = {}
     for arity in arities:
-        if arity not in ARITY_GROUPS:
-            raise KeyError("no configuration group for arity %d" % arity)
-        group = ARITY_GROUPS[arity]
+        group = _derive_group(arity_group(arity), derive_overrides)
         comparison = run_comparison(
             configurations=list(group.values()),
             workloads=workload_list,
@@ -75,7 +140,8 @@ def arity_sweep(
             progress=progress,
         )
         summary[arity] = {
-            role: comparison.gmean(config_name) for role, config_name in group.items()
+            role: comparison.gmean(config if isinstance(config, str) else config.name)
+            for role, config in group.items()
         }
     return summary
 
@@ -84,11 +150,12 @@ def counter_packing_sweep(
     workloads: Optional[Iterable[str]] = None,
     packings: Iterable[int] = (8, 64, 128),
     experiment: Optional[ExperimentConfig] = None,
-    baseline: str = "tdx_baseline",
+    baseline: ConfigurationLike = "tdx_baseline",
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
+    derive_overrides: Optional[Mapping[str, object]] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Right half of Figure 8: SecDDR / encrypt-only vs. counters per line.
 
@@ -100,9 +167,7 @@ def counter_packing_sweep(
     cache = resolve_cache(cache, cache_dir)
     summary: Dict[int, Dict[str, float]] = {}
     for packing in packings:
-        if packing not in PACKING_GROUPS:
-            raise KeyError("no configuration group for packing %d" % packing)
-        group = PACKING_GROUPS[packing]
+        group = _derive_group(packing_group(packing), derive_overrides)
         comparison = run_comparison(
             configurations=list(group.values()),
             workloads=workload_list,
@@ -113,6 +178,7 @@ def counter_packing_sweep(
             progress=progress,
         )
         summary[packing] = {
-            role: comparison.gmean(config_name) for role, config_name in group.items()
+            role: comparison.gmean(config if isinstance(config, str) else config.name)
+            for role, config in group.items()
         }
     return summary

@@ -27,9 +27,14 @@ from repro.workloads.gapbs_like import GAPBS_PROFILES, build_gapbs_trace, Synthe
 from repro.workloads.registry import (
     ALL_WORKLOADS,
     MEMORY_INTENSIVE_THRESHOLD_MPKI,
+    REGISTRY,
+    WorkloadRegistry,
     WorkloadSpec,
     build_workload,
     memory_intensive_workloads,
+    register_trace,
+    register_workload,
+    trace_cache_token,
     workload_names,
 )
 
@@ -45,8 +50,13 @@ __all__ = [
     "SyntheticGraph",
     "ALL_WORKLOADS",
     "MEMORY_INTENSIVE_THRESHOLD_MPKI",
+    "REGISTRY",
+    "WorkloadRegistry",
     "WorkloadSpec",
     "build_workload",
     "memory_intensive_workloads",
+    "register_trace",
+    "register_workload",
+    "trace_cache_token",
     "workload_names",
 ]

@@ -50,6 +50,88 @@ class TestCommands:
         assert "secddr_xts" in out
         assert "integrity_tree_64" in out
 
+    def test_list_prints_both_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Configuration registry" in out
+        assert "Workload registry" in out
+        assert "secddr" in out and "mcf" in out
+        assert "mechanism" in out and "memory-intensive" in out
+
+    def test_unknown_configuration_suggests_closest(self, capsys):
+        assert main(["compare", "-w", "gcc", "-c", "secddr_xtz", "-a", "200", "-n", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown configuration 'secddr_xtz'" in err
+        assert "closest match: 'secddr_xts'" in err
+
+    def test_unknown_workload_suggests_closest(self, capsys):
+        assert main(["compare", "-w", "mfc", "-c", "secddr_xts", "-a", "200", "-n", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'mfc'" in err
+        assert "closest match: 'mcf'" in err
+
+    def test_set_override_derives_configurations(self, capsys):
+        assert main([
+            "compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+            "--set", "counters_per_line=32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "secddr_xts+counters_per_line=32" in out
+
+    def test_set_unknown_field_is_a_clean_error(self, capsys):
+        assert main(["compare", "-w", "gcc", "--set", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown configuration field 'bogus'" in err
+
+    def test_set_malformed_pair_is_a_clean_error(self, capsys):
+        assert main(["compare", "-w", "gcc", "--set", "tree_arity"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_duplicate_configuration_names_still_work(self, capsys):
+        # Exact duplicates collapse and run once (pre-registry behavior).
+        assert main([
+            "compare", "-w", "gcc", "-c", "secddr_xts,secddr_xts", "-a", "200", "-n", "1",
+        ]) == 0
+        assert "secddr_xts" in capsys.readouterr().out
+
+    def test_baseline_name_shadowing_is_a_clean_error(self, capsys):
+        assert main([
+            "compare", "-w", "gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+            "--set", "name=tdx_baseline",
+        ]) == 2
+        assert "differs from the 'tdx_baseline' baseline" in capsys.readouterr().err
+
+    def test_set_name_with_multiple_configs_is_a_clean_error(self, capsys):
+        assert main([
+            "compare", "-w", "gcc", "-c", "secddr_xts,secddr_ctr", "--set", "name=clash",
+        ]) == 2
+        assert "cannot be combined with multiple configurations" in capsys.readouterr().err
+
+    def test_set_name_on_sweep_is_a_clean_error(self, capsys):
+        assert main(["sweep", "-w", "mcf", "--arities", "64", "--set", "name=clash"]) == 2
+        assert "not supported for sweep" in capsys.readouterr().err
+
+    def test_set_swept_axis_on_sweep_is_a_clean_error(self, capsys):
+        # Overriding the swept field would relabel every row to one point.
+        assert main([
+            "sweep", "-w", "mcf", "--arities", "8,64", "--set", "counters_per_line=32",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "counters_per_line is not supported for sweep" in err
+        assert main([
+            "sweep", "-w", "mcf", "--arities", "8,64", "--set", "tree_arity=4",
+        ]) == 2
+        assert "tree_arity is not supported for sweep" in capsys.readouterr().err
+
+    def test_unknown_workload_in_parallel_run_is_a_clean_error(self, capsys):
+        # Worker-raised lookup errors must surface as the one-line message,
+        # not hang the pool (regression: unpicklable RegistryLookupError).
+        assert main([
+            "compare", "-w", "mfc,gcc", "-c", "secddr_xts", "-a", "200", "-n", "1",
+            "-j", "2",
+        ]) == 2
+        assert "unknown workload 'mfc'" in capsys.readouterr().err
+
     def test_workloads_lists_all(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out
@@ -123,11 +205,18 @@ class TestCommands:
         assert "packing" in out
         assert "64" in out
 
-    def test_sweep_unsupported_arity_is_a_clean_error(self, capsys):
-        assert main(["sweep", "--arities", "16", "-w", "mcf"]) == 2
+    def test_sweep_derived_arity_runs(self, capsys):
+        # Non-canonical arities derive their configuration group on the fly
+        # instead of requiring pre-baked registry names.
+        assert main(["sweep", "--arities", "16", "-w", "mcf", "-a", "200", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "16" in out
+        assert "arity" in out
+
+    def test_sweep_invalid_arity_is_a_clean_error(self, capsys):
+        assert main(["sweep", "--arities", "1", "-w", "mcf"]) == 2
         err = capsys.readouterr().err
-        assert "unsupported arity 16" in err
-        assert "8, 64, 128" in err
+        assert "arity must be >= 2" in err
 
     def test_sweep_non_numeric_arity_is_a_clean_error(self, capsys):
         assert main(["sweep", "--arities", "8x", "-w", "mcf"]) == 2
