@@ -1,67 +1,19 @@
 """Ablation: metadata-cache size sensitivity of the tree vs. SecDDR.
 
-The integrity tree's viability hinges on the on-chip metadata cache absorbing
-counter and tree-node traffic; SecDDR only needs it for encryption counters
-(and not at all with AES-XTS).  This ablation sweeps the metadata cache from
-32 KB to 512 KB on representative memory-intensive workloads and shows that:
-
-* the tree remains well below SecDDR at every size (capacity alone cannot
-  close the gap for random-access workloads), and
-* SecDDR+XTS is insensitive to the metadata cache size.
+Thin pytest-benchmark wrapper over the registered ``ablation_cache`` spec:
+sweeping the metadata cache from 32 KB to 512 KB on representative
+memory-intensive workloads shows the tree stays below SecDDR at every size
+and SecDDR+XTS is insensitive to the cache entirely.
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.experiment import ExperimentConfig, run_comparison
-
-WORKLOADS = ["mcf", "pr", "omnetpp"]
-CACHE_SIZES = [32 * 1024, 128 * 1024, 512 * 1024]
-CONFIGURATIONS = ["integrity_tree_64", "secddr_ctr", "secddr_xts"]
-
-
-def _run_sweep():
-    base = bench_experiment()
-    results = {}
-    for size in CACHE_SIZES:
-        experiment = ExperimentConfig(
-            num_accesses=base.num_accesses,
-            num_cores=base.num_cores,
-            metadata_cache_bytes=size,
-        )
-        results[size] = run_comparison(
-            configurations=CONFIGURATIONS,
-            workloads=WORKLOADS,
-            baseline="tdx_baseline",
-            experiment=experiment,
-            **bench_runner_kwargs(),
-        )
-    return results
+from repro.figures import get_figure
 
 
 def test_ablation_metadata_cache_size(benchmark):
-    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Ablation: metadata cache size (gmean normalized IPC over %s)" % ", ".join(WORKLOADS))
-    print("=" * 78)
-    print("%-14s" % "cache size" + "".join(c.ljust(22) for c in CONFIGURATIONS))
-    gmeans = {}
-    for size, comparison in results.items():
-        gmeans[size] = {c: comparison.gmean(c) for c in CONFIGURATIONS}
-        row = ("%d KB" % (size // 1024)).ljust(14)
-        row += "".join(("%.3f" % gmeans[size][c]).ljust(22) for c in CONFIGURATIONS)
-        print(row)
-
-    smallest, default, largest = CACHE_SIZES
-    # SecDDR stays ahead of the tree at every metadata cache size.
-    for size in CACHE_SIZES:
-        assert gmeans[size]["secddr_ctr"] > gmeans[size]["integrity_tree_64"]
-        assert gmeans[size]["secddr_xts"] > gmeans[size]["integrity_tree_64"]
-    # SecDDR+XTS does not depend on the metadata cache at all.
-    xts_values = [gmeans[size]["secddr_xts"] for size in CACHE_SIZES]
-    assert max(xts_values) - min(xts_values) < 0.05
-    # A larger cache helps the tree (or at worst leaves it unchanged).
-    assert gmeans[largest]["integrity_tree_64"] >= gmeans[smallest]["integrity_tree_64"] - 0.02
+    spec = get_figure("ablation_cache")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,76 +1,19 @@
 """Ablation: cost of the eWCRC write-burst extension (DDR4 vs DDR5).
 
-DESIGN.md calls out the extended write burst (BL8 -> BL10 on DDR4,
-BL16 -> BL18 on DDR5) as SecDDR's only measurable performance overhead.
-This ablation quantifies it directly: SecDDR+XTS vs the encrypt-only XTS
-upper bound on the most write-intensive workloads, on a DDR4-3200 channel
-and on a DDR5-4800 channel.
-
-Expected shape: the overhead is largest for lbm (the paper reports -1.6%),
-small everywhere else, and *relatively* smaller on DDR5 because two extra
-beats are a smaller fraction of a 16-beat burst (paper Section IV-B note).
+Thin pytest-benchmark wrapper over the registered ``ablation_burst`` spec:
+SecDDR+XTS vs. the encrypt-only XTS upper bound on the most write-intensive
+workloads (paper: ~1.6% worst case on lbm), on DDR4-3200 (BL8 -> BL10) and
+DDR5-4800 (BL16 -> BL18), where the two extra beats are relatively cheaper.
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.experiment import run_comparison
-
-#: Write-heavy / streaming workloads where the burst extension can show up,
-#: plus one read-dominated workload as a control.
-WORKLOADS = ["lbm", "roms", "fotonik3d", "bwaves", "mcf"]
-
-
-def _run_ablation():
-    experiment = bench_experiment()
-    runner_kwargs = bench_runner_kwargs()
-    ddr4 = run_comparison(
-        configurations=["secddr_xts", "encrypt_only_xts"],
-        workloads=WORKLOADS,
-        baseline="tdx_baseline",
-        experiment=experiment,
-        **runner_kwargs,
-    )
-    ddr5 = run_comparison(
-        configurations=["secddr_xts_ddr5", "encrypt_only_xts_ddr5"],
-        workloads=WORKLOADS,
-        baseline="tdx_baseline_ddr5",
-        experiment=experiment,
-        **runner_kwargs,
-    )
-    return ddr4, ddr5
+from repro.figures import get_figure
 
 
 def test_ablation_ewcrc_write_burst(benchmark):
-    ddr4, ddr5 = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Ablation: eWCRC write-burst overhead (SecDDR+XTS relative to encrypt-only XTS)")
-    print("=" * 78)
-    print("%-14s %18s %18s" % ("workload", "DDR4 (BL8->BL10)", "DDR5 (BL16->BL18)"))
-    ddr4_overheads = {}
-    ddr5_overheads = {}
-    for workload in WORKLOADS:
-        ddr4_ratio = ddr4.normalized["secddr_xts"][workload] / ddr4.normalized["encrypt_only_xts"][workload]
-        ddr5_ratio = (
-            ddr5.normalized["secddr_xts_ddr5"][workload]
-            / ddr5.normalized["encrypt_only_xts_ddr5"][workload]
-        )
-        ddr4_overheads[workload] = 1.0 - ddr4_ratio
-        ddr5_overheads[workload] = 1.0 - ddr5_ratio
-        print("%-14s %17.2f%% %17.2f%%" % (workload, 100 * (1 - ddr4_ratio), 100 * (1 - ddr5_ratio)))
-
-    ddr4_gmean = ddr4.gmean("secddr_xts") / ddr4.gmean("encrypt_only_xts")
-    ddr5_gmean = ddr5.gmean("secddr_xts_ddr5") / ddr5.gmean("encrypt_only_xts_ddr5")
-    print()
-    print("average overhead on DDR4: %.2f%%   on DDR5: %.2f%%"
-          % (100 * (1 - ddr4_gmean), 100 * (1 - ddr5_gmean)))
-
-    # The overhead exists but stays small (paper: ~1.6% worst case, lbm).
-    assert 0.0 <= 1.0 - ddr4_gmean < 0.06
-    # DDR5 never makes the relative burst overhead worse on average.
-    assert (1.0 - ddr5_gmean) <= (1.0 - ddr4_gmean) + 0.01
-    # The control read-dominated workload is essentially unaffected.
-    assert abs(ddr4_overheads["mcf"]) < 0.05
+    spec = get_figure("ablation_burst")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,51 +1,19 @@
 """Figures 1 & 3 / Section III: attack-detection matrix.
 
-Runs the standard attack campaign (bus replay, address-corruption stale
-writes, dropped writes, write-to-read command conversion, DIMM substitution,
-row-hammer bit flips, read tampering) against the TDX-like baseline, SecDDR
-without eWCRC, and full SecDDR, and checks the paper's detection claims:
-
-* the baseline (integrity, no replay protection) falls to every replay-style
-  attack while still catching plain data corruption;
-* E-MACs alone miss only the misdirected-write attack of Figure 3;
-* full SecDDR detects every attack.
+Thin pytest-benchmark wrapper over the registered ``attacks`` spec: the
+standard campaign (bus replay, address corruption, dropped writes,
+write-to-read conversion, DIMM substitution, row hammer, read tampering)
+against the no-RAP baseline, SecDDR without eWCRC, and full SecDDR.
 """
 
 from __future__ import annotations
 
-from repro.attacks import AttackCampaign, AttackOutcome, run_standard_campaign
+from conftest import assert_expected_trends, bench_context
+
+from repro.figures import get_figure
 
 
 def test_attack_detection_matrix(benchmark):
-    results = benchmark.pedantic(run_standard_campaign, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Attack detection matrix (functional SecDDR model, real cryptography)")
-    print("=" * 78)
-    print(AttackCampaign.format_matrix(results))
-
-    matrix = AttackCampaign.summarize(results)
-    replay_style = {
-        "bus_replay",
-        "address_corruption",
-        "write_drop",
-        "write_to_read_conversion",
-        "dimm_substitution",
-    }
-    # Full SecDDR detects everything.
-    assert all(outcome == "detected" for outcome in matrix["secddr"].values())
-    # The baseline falls to every replay-style attack.
-    for attack in replay_style:
-        assert matrix["baseline_no_rap"][attack] == "succeeded"
-    # Without eWCRC, only the misdirected-write attack still succeeds.
-    assert matrix["secddr_no_ewcrc"]["address_corruption"] == "succeeded"
-    assert all(
-        outcome == "detected"
-        for attack, outcome in matrix["secddr_no_ewcrc"].items()
-        if attack != "address_corruption"
-    )
-    # Data-corruption attacks are caught by every MAC-protected configuration.
-    for config in matrix:
-        assert matrix[config]["rowhammer_bitflips"] == "detected"
-        assert matrix[config]["read_data_tamper"] == "detected"
+    spec = get_figure("attacks")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

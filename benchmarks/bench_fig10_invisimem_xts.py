@@ -1,63 +1,19 @@
 """Figure 10: SecDDR vs. InvisiMem-style authenticated channel (AES-XTS).
 
-Regenerates the comparison between SecDDR and an InvisiMem adaptation with a
-trusted DIMM, under AES-XTS encryption:
-
-* ``invisimem_unrealistic_xts`` -- channel kept at 3200 MT/s; only the 2x
-  per-transaction MAC latency is paid.
-* ``invisimem_realistic_xts``   -- channel derated to 2400 MT/s to account
-  for the centralized data buffer memory-side MAC computation requires.
-
-Expected shape (paper): SecDDR outperforms the realistic InvisiMem by ~7.2%
-on average (11.2% memory-intensive) and the unrealistic one by ~2.9%; SecDDR
-only loses slightly on a few write-heavy streaming workloads (lbm, fotonik3d,
-roms) because of its longer write bursts.
+Thin pytest-benchmark wrapper over the registered ``fig10`` spec: SecDDR
+outperforms the realistic (channel derated to 2400 MT/s) InvisiMem by ~7.2%
+in the paper and the unrealistic (full-speed) one by ~2.9%, losing only
+slightly on a few write-heavy streaming workloads.
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.experiment import run_comparison
-from repro.workloads.registry import memory_intensive_workloads
-
-CONFIGURATIONS = [
-    "invisimem_unrealistic_xts",
-    "invisimem_realistic_xts",
-    "secddr_xts",
-    "encrypt_only_xts",
-]
-
-
-def _run_figure10():
-    return run_comparison(
-        configurations=CONFIGURATIONS,
-        workloads=bench_workloads(),
-        baseline="tdx_baseline",
-        experiment=bench_experiment(),
-        **bench_runner_kwargs(),
-    )
+from repro.figures import get_figure
 
 
 def test_fig10_invisimem_comparison_xts(benchmark):
-    comparison = benchmark.pedantic(_run_figure10, rounds=1, iterations=1)
-
-    intensive = [w for w in memory_intensive_workloads() if w in comparison.workloads]
-    summaries = {
-        "gmean-mem.int": {c: comparison.gmean(c, intensive) for c in comparison.configurations},
-        "gmean-all": {c: comparison.gmean(c) for c in comparison.configurations},
-    }
-    print_series(
-        "Figure 10: SecDDR vs InvisiMem (all AES-XTS), normalized IPC",
-        {c: comparison.normalized[c] for c in comparison.configurations},
-        summaries,
-    )
-    over_realistic = comparison.speedup_over("secddr_xts", "invisimem_realistic_xts")
-    over_unrealistic = comparison.speedup_over("secddr_xts", "invisimem_unrealistic_xts")
-    print()
-    print("SecDDR over InvisiMem realistic@2400:   %.1f%%  [paper: +7.2%%]" % (100 * (over_realistic - 1)))
-    print("SecDDR over InvisiMem unrealistic@3200: %.1f%%  [paper: +2.9%%]" % (100 * (over_unrealistic - 1)))
-
-    assert over_realistic > 1.0
-    assert over_unrealistic > 1.0
-    assert over_realistic >= over_unrealistic
+    spec = get_figure("fig10")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

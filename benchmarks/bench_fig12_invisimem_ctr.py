@@ -1,57 +1,18 @@
 """Figure 12: SecDDR vs. InvisiMem under counter-mode encryption.
 
-The counter-mode companion to Figure 10: all configurations use counter-mode
-encryption with 64 counters per line.
-
-Expected shape (paper): SecDDR outperforms the unrealistic and realistic
-InvisiMem variants by ~9.4% and ~16.6% respectively; counter-mode is slower
-than AES-XTS overall (compare against Figure 10's series).
+Thin pytest-benchmark wrapper over the registered ``fig12`` spec -- the
+counter-mode companion to Figure 10 (paper: SecDDR beats the unrealistic and
+realistic InvisiMem variants by ~9.4% and ~16.6% respectively).
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.experiment import run_comparison
-from repro.workloads.registry import memory_intensive_workloads
-
-CONFIGURATIONS = [
-    "invisimem_unrealistic_ctr",
-    "invisimem_realistic_ctr",
-    "secddr_ctr",
-    "encrypt_only_ctr",
-]
-
-
-def _run_figure12():
-    return run_comparison(
-        configurations=CONFIGURATIONS,
-        workloads=bench_workloads(),
-        baseline="tdx_baseline",
-        experiment=bench_experiment(),
-        **bench_runner_kwargs(),
-    )
+from repro.figures import get_figure
 
 
 def test_fig12_invisimem_comparison_ctr(benchmark):
-    comparison = benchmark.pedantic(_run_figure12, rounds=1, iterations=1)
-
-    intensive = [w for w in memory_intensive_workloads() if w in comparison.workloads]
-    summaries = {
-        "gmean-mem.int": {c: comparison.gmean(c, intensive) for c in comparison.configurations},
-        "gmean-all": {c: comparison.gmean(c) for c in comparison.configurations},
-    }
-    print_series(
-        "Figure 12: SecDDR vs InvisiMem (counter-mode encryption), normalized IPC",
-        {c: comparison.normalized[c] for c in comparison.configurations},
-        summaries,
-    )
-    over_realistic = comparison.speedup_over("secddr_ctr", "invisimem_realistic_ctr")
-    over_unrealistic = comparison.speedup_over("secddr_ctr", "invisimem_unrealistic_ctr")
-    print()
-    print("SecDDR over InvisiMem realistic@2400 (CTR):   %.1f%%  [paper: +16.6%%]" % (100 * (over_realistic - 1)))
-    print("SecDDR over InvisiMem unrealistic@3200 (CTR): %.1f%%  [paper: +9.4%%]" % (100 * (over_unrealistic - 1)))
-
-    assert over_realistic > 1.0
-    assert over_unrealistic > 1.0
-    assert over_realistic >= over_unrealistic
+    spec = get_figure("fig12")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

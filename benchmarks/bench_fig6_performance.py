@@ -1,68 +1,19 @@
 """Figure 6: normalized performance (IPC) of the five main configurations.
 
-Regenerates the paper's headline performance figure: for every SPEC-2017-like
-and GAPBS-like workload, the IPC of {64-ary integrity tree, SecDDR+CTR,
-Encrypt-only CTR, SecDDR+XTS, Encrypt-only XTS} normalized to the TDX-like
-baseline, plus the geometric means over all and over memory-intensive
-workloads.
-
-Expected shape (paper): SecDDR+CTR ~9.6% above the tree on average (~18% on
-memory-intensive workloads, with the largest gains on pr/bc/sssp/omnetpp/xz),
-within ~3% of encrypt-only CTR; SecDDR+XTS ~18.8% above the tree and within
-~1% of encrypt-only XTS; lbm slightly penalized by the eWCRC write burst.
+Thin pytest-benchmark wrapper over the registered ``fig6`` spec
+(:mod:`repro.figures.paper`), which owns the configuration set, the
+normalization, the reproduced-vs-paper deltas (SecDDR+CTR ~9.6% over the
+tree, SecDDR+XTS ~18.8%) and the expected-trend checks.
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_runner_kwargs, bench_workloads, print_series
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.experiment import run_comparison
-from repro.workloads.registry import memory_intensive_workloads
-
-CONFIGURATIONS = [
-    "integrity_tree_64",
-    "secddr_ctr",
-    "encrypt_only_ctr",
-    "secddr_xts",
-    "encrypt_only_xts",
-]
-
-
-def _run_figure6():
-    return run_comparison(
-        configurations=CONFIGURATIONS,
-        workloads=bench_workloads(),
-        baseline="tdx_baseline",
-        experiment=bench_experiment(),
-        **bench_runner_kwargs(),
-    )
+from repro.figures import get_figure
 
 
 def test_fig6_normalized_performance(benchmark):
-    comparison = benchmark.pedantic(_run_figure6, rounds=1, iterations=1)
-
-    intensive = [w for w in memory_intensive_workloads() if w in comparison.workloads]
-    summaries = {
-        "gmean-mem.int": {c: comparison.gmean(c, intensive) for c in comparison.configurations},
-        "gmean-all": {c: comparison.gmean(c) for c in comparison.configurations},
-    }
-    print_series(
-        "Figure 6: normalized IPC (TDX-like baseline = 1.0)",
-        {c: comparison.normalized[c] for c in comparison.configurations},
-        summaries,
-    )
-    secddr_ctr_gain = comparison.speedup_over("secddr_ctr", "integrity_tree_64")
-    secddr_xts_gain = comparison.speedup_over("secddr_xts", "integrity_tree_64")
-    print()
-    print("SecDDR+CTR over 64-ary tree (gmean-all): %.1f%%  [paper: +9.6%%]" % (100 * (secddr_ctr_gain - 1)))
-    print("SecDDR+XTS over 64-ary tree (gmean-all): %.1f%%  [paper: +18.8%%]" % (100 * (secddr_xts_gain - 1)))
-    print("SecDDR+CTR vs encrypt-only CTR: %.3f  [paper: within 3%%]"
-          % (comparison.gmean("secddr_ctr") / comparison.gmean("encrypt_only_ctr")))
-    print("SecDDR+XTS vs encrypt-only XTS: %.3f  [paper: within 1%%]"
-          % (comparison.gmean("secddr_xts") / comparison.gmean("encrypt_only_xts")))
-
-    # Shape assertions: SecDDR beats the tree, and stays near encrypt-only.
-    assert secddr_ctr_gain > 1.0
-    assert secddr_xts_gain > 1.0
-    assert comparison.gmean("secddr_xts") / comparison.gmean("encrypt_only_xts") > 0.95
-    assert comparison.gmean("secddr_ctr") / comparison.gmean("encrypt_only_ctr") > 0.93
+    spec = get_figure("fig6")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,49 +1,21 @@
 """Figure 7: metadata-cache behaviour (MPKI and miss rate) per workload.
 
-Regenerates the metadata-cache characterization under the tree baseline:
-for each workload, the metadata cache miss rate and the metadata misses per
-kilo-instruction.  Expected shape (paper): the random / pointer-chasing /
-graph workloads (mcf, omnetpp, xz, pr, bc, cc, sssp, bfs) show high miss
-rates and high metadata MPKI, while streaming and compute-bound workloads
-stay low -- which is exactly why the integrity tree hurts the former group
-in Figure 6.
+Thin pytest-benchmark wrapper over the registered ``fig7`` spec: the
+random / pointer-chasing / graph workloads defeat the metadata cache while
+streaming and compute-bound workloads stay low -- which is exactly why the
+integrity tree hurts the former group in Figure 6.  Every simulation job is
+shared with ``fig6`` (same tree configuration, same workloads), so a warm
+cache makes this figure free.
 """
 
 from __future__ import annotations
 
-from conftest import bench_experiment, bench_jobs, bench_cache, bench_workloads
+from conftest import assert_expected_trends, bench_context
 
-from repro.sim.runner import ParallelRunner
-from repro.workloads.registry import ALL_WORKLOADS
-
-
-def _run_figure7():
-    runner = ParallelRunner(jobs=bench_jobs(), cache=bench_cache())
-    matrix = runner.run_matrix(["integrity_tree_64"], bench_workloads(), bench_experiment())
-    return matrix["integrity_tree_64"]
+from repro.figures import get_figure
 
 
 def test_fig7_metadata_cache_behaviour(benchmark):
-    results = benchmark.pedantic(_run_figure7, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Figure 7: metadata cache behaviour (64-ary tree configuration)")
-    print("=" * 78)
-    print("%-14s %12s %12s %14s" % ("workload", "LLC MPKI", "miss rate", "metadata MPKI"))
-    for workload, result in results.items():
-        print("%-14s %12.1f %12.1f%% %14.2f" % (
-            workload,
-            ALL_WORKLOADS[workload].mpki,
-            100.0 * result.stat("metadata_miss_rate"),
-            result.stat("metadata_mpki"),
-        ))
-
-    # Shape assertions: the random/graph workloads defeat the metadata cache,
-    # the streaming/compute ones do not.
-    high_locality = [w for w in ("namd", "povray", "exchange2", "x264") if w in results]
-    low_locality = [w for w in ("mcf", "omnetpp", "pr", "sssp", "bc") if w in results]
-    if high_locality and low_locality:
-        avg_high = sum(results[w].stat("metadata_miss_rate") for w in high_locality) / len(high_locality)
-        avg_low = sum(results[w].stat("metadata_miss_rate") for w in low_locality) / len(low_locality)
-        assert avg_low > avg_high
+    spec = get_figure("fig7")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,60 +1,20 @@
 """Figure 8: sensitivity to integrity-tree arity and counter packing.
 
-Left half of the figure: for arity 8 (hash Merkle tree), 64 (baseline
-counter tree) and 128 (Morphable-style), the geometric-mean normalized IPC
-of {tree, SecDDR, encrypt-only} with the matching counter packing.
-
-Expected shape (paper, memory-intensive gmean): the 8-ary hash tree is far
-worse than either counter tree (~0.61 vs ~0.84-0.86 in the paper); SecDDR
-and encrypt-only track each other closely at every packing; 64- and 128-
-counter packings perform similarly.
+Thin pytest-benchmark wrapper over the registered ``fig8`` spec: the 8-ary
+hash tree is far worse than either counter tree, SecDDR and encrypt-only
+track each other at every packing, and the 64-/128-counter packings perform
+similarly.  The packing sweep reuses the arity sweep's configurations, so
+its jobs deduplicate against them in the shared cache.
 """
 
 from __future__ import annotations
 
-from conftest import bench_cache, bench_experiment, bench_jobs, bench_workloads
+from conftest import assert_expected_trends, bench_context
 
-from repro.api import Session
-from repro.sim.sweep import arity_group
-
-
-def _run_figure8():
-    # One session supplies the sweeps' shared budget, cache, and pool: the
-    # canonical points (8, 64, 128) resolve to the named registry
-    # configurations, and any other arity would derive its configuration
-    # group on the fly — no pre-baked ``*_pack*`` name variants needed.
-    session = Session(
-        jobs=bench_jobs(), cache=bench_cache(), experiment=bench_experiment()
-    ).workloads(*bench_workloads(memory_intensive_only=True))
-    arity = session.arity_sweep(arities=(8, 64, 128))
-    packing = session.counter_packing_sweep(packings=(8, 64, 128))
-    return arity, packing
+from repro.figures import get_figure
 
 
 def test_fig8_arity_and_packing_sensitivity(benchmark):
-    arity_results, packing_results = benchmark.pedantic(_run_figure8, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Figure 8 (left): tree arity sensitivity -- gmean over memory-intensive workloads")
-    print("=" * 78)
-    print("%-10s %22s %12s %14s" % ("arity", "tree (normalized IPC)", "SecDDR", "encrypt-only"))
-    for arity, values in arity_results.items():
-        tree_name = arity_group(arity)["tree"]
-        print("%-10d %22.3f %12.3f %14.3f   (tree config: %s)" % (
-            arity, values["tree"], values["secddr"], values["encrypt_only"], tree_name,
-        ))
-
-    print()
-    print("Figure 8 (right): counter packing sensitivity (counters per line)")
-    print("%-10s %12s %14s" % ("packing", "SecDDR", "encrypt-only"))
-    for packing, values in packing_results.items():
-        print("%-10d %12.3f %14.3f" % (packing, values["secddr"], values["encrypt_only"]))
-
-    # Shape assertions.
-    assert arity_results[8]["tree"] < arity_results[64]["tree"], "hash tree must be the worst"
-    for arity, values in arity_results.items():
-        assert values["secddr"] >= values["tree"] * 0.98, "SecDDR never loses to the tree"
-        assert values["secddr"] <= values["encrypt_only"] * 1.05
-    # 64 vs 128 packing: close to each other (paper: 0.92/0.94 vs 0.92/0.94).
-    assert abs(packing_results[64]["secddr"] - packing_results[128]["secddr"]) < 0.1
+    spec = get_figure("fig8")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

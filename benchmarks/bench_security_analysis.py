@@ -1,55 +1,19 @@
 """Sections III-B / III-C: the paper's security arithmetic.
 
-Regenerates the quantitative security arguments:
-
-* natural CCCA error interval at the JEDEC worst-case BER (~11.13 days),
-* eWCRC brute-force effort (~4.5e4 attempts; ~1,385 years at worst-case BER,
-  ~138 million years at realistic BERs, >86,000 years even for a 1,000-node
-  x 16-channel parallel attacker),
-* 64-bit transaction-counter overflow horizon (>500 years),
-* DIMM-substitution counter-match probability (2^-64).
+Thin pytest-benchmark wrapper over the registered ``security`` spec: CCCA
+error interval (~11.13 days at worst-case BER), eWCRC brute-force effort
+(~4.5e4 attempts; ~1,385 years at worst-case BER), transaction-counter
+overflow horizon (> 500 years), and the DIMM-substitution match probability.
 """
 
 from __future__ import annotations
 
-import pytest
+from conftest import assert_expected_trends, bench_context
 
-from repro.analysis.security_math import (
-    SecurityAnalysis,
-    ccca_error_interval_days,
-    counter_overflow_years,
-    ewcrc_bruteforce_attempts,
-    ewcrc_bruteforce_years,
-)
-
-
-def _run_analysis():
-    return SecurityAnalysis().report()
+from repro.figures import get_figure
 
 
 def test_security_analysis_numbers(benchmark):
-    report = benchmark.pedantic(_run_analysis, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Security analysis (Sections III-B and III-C)")
-    print("=" * 78)
-    rows = [
-        ("CCCA error interval @ BER 1e-16", "%.2f days" % report["ccca_error_interval_days_worst_ber"], "11.13 days"),
-        ("eWCRC brute-force attempts (50%)", "%.0f" % report["ewcrc_attempts_for_50pct"], "~4.5e4"),
-        ("brute-force duration @ BER 1e-16", "%.0f years" % report["bruteforce_years_worst_ber"], "1,385 years"),
-        ("brute-force duration @ BER 1e-21", "%.3g years" % report["bruteforce_years_realistic_ber"], "138 million years"),
-        ("parallel attack 1000x16 channels", "%.0f years" % report["bruteforce_years_parallel_1000x16"], "> 86,000 years"),
-        ("counter overflow @ 1 txn/ns", "%.0f years" % report["counter_overflow_years"], "> 500 years"),
-        ("DIMM-substitution match probability", "%.3g" % report["dimm_substitution_match_probability"], "2^-64"),
-    ]
-    print("%-38s %22s %22s" % ("quantity", "measured", "paper"))
-    for name, measured, paper in rows:
-        print("%-38s %22s %22s" % (name, measured, paper))
-
-    assert ccca_error_interval_days(1e-16) == pytest.approx(11.13, rel=0.05)
-    assert ewcrc_bruteforce_attempts(16, 0.5) == pytest.approx(4.5e4, rel=0.02)
-    assert ewcrc_bruteforce_years(1e-16) == pytest.approx(1385, rel=0.05)
-    assert ewcrc_bruteforce_years(1e-21) == pytest.approx(1.38e8, rel=0.05)
-    assert report["bruteforce_years_parallel_1000x16"] > 80_000
-    assert counter_overflow_years(64, 1e9) > 500
+    spec = get_figure("security")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,40 +1,18 @@
 """Table I: system configuration parameters.
 
-Prints the evaluated system configuration and validates that the simulator's
-DDR4-3200 timing set matches the paper's published values.  The benchmarked
-quantity is the cost of constructing a full system configuration (controller,
-channel, metadata cache, secure-memory model).
+Thin pytest-benchmark wrapper over the registered ``table1`` spec: prints
+the evaluated system configuration and validates the simulator's DDR4-3200
+timing set against the paper's published values.
 """
 
 from __future__ import annotations
 
-from repro.dram.timing import DDR4_3200
-from repro.secure.configs import CONFIGURATIONS, build_configuration
-from repro.sim.experiment import default_system_parameters
+from conftest import assert_expected_trends, bench_context
 
-
-def _build_all_configurations():
-    return [build_configuration(name) for name in CONFIGURATIONS]
+from repro.figures import get_figure
 
 
 def test_table1_configuration(benchmark):
-    systems = benchmark.pedantic(_build_all_configurations, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Table I: Configuration Parameters")
-    print("=" * 78)
-    for key, value in default_system_parameters().items():
-        print("%-22s %s" % (key, value))
-
-    print()
-    print("Evaluated secure-memory configurations (%d):" % len(systems))
-    for name, spec in CONFIGURATIONS.items():
-        print("  %-28s %s" % (name, spec.description))
-
-    # Validate the Table I DDR timing row.
-    assert (DDR4_3200.tCL, DDR4_3200.tCCD_S, DDR4_3200.tCCD_L, DDR4_3200.tCWL) == (22, 4, 10, 16)
-    assert (DDR4_3200.tWTR_S, DDR4_3200.tWTR_L, DDR4_3200.tRP, DDR4_3200.tRCD, DDR4_3200.tRAS) == (
-        4, 12, 22, 22, 56,
-    )
-    assert len(systems) == len(CONFIGURATIONS)
+    spec = get_figure("table1")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

@@ -1,51 +1,19 @@
 """Table II: AES engine power overhead of SecDDR's on-DIMM logic.
 
-Regenerates the paper's power table analytically and validates the headline
-numbers: 2 AES engines / ~70.8 mW per ECC chip for x4 DDR4-3200 devices,
-3 engines / ~106.3 mW for x8 devices, per-rank overheads of ~2.1% / ~2.3%,
-and the DDR5 data point staying below 5%.  Also prints the DRAM-die area
-budget from Section V-B.
+Thin pytest-benchmark wrapper over the registered ``table2`` spec: 2 AES
+engines / ~70.8 mW per ECC chip for x4 DDR4-3200 devices, 3 engines /
+~106.3 mW for x8, per-rank overheads of ~2.1% / ~2.3%, the DDR5 point below
+5%, and the Section V-B area budget under 1.5 mm^2.
 """
 
 from __future__ import annotations
 
-import pytest
+from conftest import assert_expected_trends, bench_context
 
-from repro.analysis.area import AreaModel
-from repro.analysis.power import table2_power_overheads
+from repro.figures import get_figure
 
 
 def test_table2_power_overheads(benchmark):
-    rows = benchmark.pedantic(table2_power_overheads, rounds=1, iterations=1)
-
-    print()
-    print("=" * 78)
-    print("Table II: AES engine power overhead (powers in mW)")
-    print("=" * 78)
-    print("%-22s %10s %16s %16s %12s" % (
-        "configuration", "AES units", "AES power/chip", "DRAM chip power", "overhead",
-    ))
-    for row in rows:
-        print("%-22s %10d %16.1f %16.1f %11.1f%%" % (
-            row.configuration,
-            row.aes_units_per_ecc_chip,
-            row.aes_power_per_ecc_chip_mw,
-            row.dram_chip_power_mw,
-            row.overhead_per_rank_percent,
-        ))
-
-    area = AreaModel()
-    print()
-    print("Section V-B area model: SecDDR logic %.2f mm^2 + attestation %.3f mm^2 = %.2f mm^2 (< 1.5 mm^2)"
-          % (area.secddr_logic_mm2(3), area.attestation_logic_mm2(), area.total_mm2(3)))
-
-    x4, x8 = rows[0], rows[1]
-    assert x4.aes_units_per_ecc_chip == 2
-    assert x8.aes_units_per_ecc_chip == 3
-    assert x4.aes_power_per_ecc_chip_mw == pytest.approx(70.8, rel=0.02)
-    assert x8.aes_power_per_ecc_chip_mw == pytest.approx(106.3, rel=0.02)
-    assert x4.overhead_per_rank_percent == pytest.approx(2.1, abs=0.3)
-    assert x8.overhead_per_rank_percent == pytest.approx(2.3, abs=0.3)
-    if len(rows) > 2:
-        assert rows[2].overhead_per_rank_percent < 5.0
-    assert area.total_mm2(3) < 1.5
+    spec = get_figure("table2")
+    artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
+    assert_expected_trends(artifact)

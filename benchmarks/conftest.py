@@ -1,10 +1,13 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures.  Because a
-full-fidelity run (29 workloads x 4 cores x many configurations) takes tens
-of minutes in pure Python, the default benchmark budget is reduced; the shape
-of every result (who wins, by roughly what factor) is preserved.  Scale the
-budget up with environment variables:
+Every benchmark is a thin pytest-benchmark wrapper over one registered
+:class:`repro.figures.FigureSpec` -- the figure definitions (job matrices,
+post-processing, expected-trend checks) live in :mod:`repro.figures.paper`,
+shared with the ``repro reproduce`` CLI.  Because a full-fidelity run (29
+workloads x 4 cores x many configurations) takes tens of minutes in pure
+Python, the default benchmark budget is reduced; the shape of every result
+(who wins, by roughly what factor) is preserved.  Scale the budget up with
+environment variables:
 
 * ``REPRO_BENCH_ACCESSES`` -- LLC-level accesses per workload trace
   (default 1000; the paper's SimPoints correspond to millions).
@@ -22,13 +25,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import List, Optional
+from typing import Optional
 
 import pytest
 
+from repro.figures import FigureArtifact, FigureContext
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.runner import ResultCache
-from repro.workloads.registry import workload_names
 
 #: Directory where every benchmark's printed table/figure is also recorded,
 #: so the regenerated paper artifacts survive pytest's output capturing.
@@ -91,42 +94,34 @@ def bench_cache() -> Optional[ResultCache]:
     return ResultCache(directory)
 
 
-def bench_runner_kwargs() -> dict:
-    """Keyword arguments wiring ``run_comparison`` onto the parallel runner."""
-    return {"jobs": bench_jobs(), "cache": bench_cache()}
+def bench_context() -> FigureContext:
+    """The :class:`FigureContext` every figure benchmark builds its spec in.
 
-
-def bench_workloads(memory_intensive_only: bool = False) -> List[str]:
-    """Workload list, optionally overridden via REPRO_BENCH_WORKLOADS."""
+    Bundles the environment-tunable budget, the shared on-disk result cache,
+    and the worker count, so ``spec.build(bench_context())`` runs exactly
+    like ``repro reproduce`` does (same cache keys, same normalization).
+    REPRO_BENCH_WORKLOADS restricts the "all workloads" / "memory intensive"
+    sets; figures with fixed workload lists (the ablations) ignore it.
+    """
     override = os.environ.get("REPRO_BENCH_WORKLOADS")
-    if override:
-        return [name.strip() for name in override.split(",") if name.strip()]
-    return workload_names(memory_intensive_only=memory_intensive_only)
+    workload_filter = (
+        [name.strip() for name in override.split(",") if name.strip()] if override else None
+    )
+    return FigureContext(
+        experiment=bench_experiment(),
+        cache=bench_cache(),
+        jobs=bench_jobs(),
+        workload_filter=workload_filter,
+    )
+
+
+def assert_expected_trends(artifact: FigureArtifact) -> None:
+    """Print the artifact and fail the benchmark if any paper trend failed."""
+    print(artifact.format_text())
+    failed = [trend.description for trend in artifact.failed_trends]
+    assert not failed, "expected paper trends failed: %s" % "; ".join(failed)
 
 
 @pytest.fixture
 def experiment() -> ExperimentConfig:
     return bench_experiment()
-
-
-def print_series(title: str, per_workload: dict, summaries: Optional[dict] = None) -> None:
-    """Print a figure's series in paper order (one row per workload)."""
-    print()
-    print("=" * 78)
-    print(title)
-    print("=" * 78)
-    configs = list(per_workload)
-    workloads = list(next(iter(per_workload.values())))
-    header = "workload".ljust(14) + "".join(c.ljust(26) for c in configs)
-    print(header)
-    for workload in workloads:
-        row = workload.ljust(14)
-        for config in configs:
-            row += ("%.3f" % per_workload[config][workload]).ljust(26)
-        print(row)
-    if summaries:
-        for label, values in summaries.items():
-            row = label.ljust(14)
-            for config in configs:
-                row += ("%.3f" % values[config]).ljust(26)
-            print(row)

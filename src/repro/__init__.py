@@ -19,8 +19,16 @@ substrate its evaluation depends on:
 * :mod:`repro.sim` -- the experiment runner behind the paper's figures.
 * :mod:`repro.analysis` -- power/area/security analytical models (Table II,
   Sections III-B/C and V-B).
+* :mod:`repro.figures` -- one :class:`~repro.figures.FigureSpec` per paper
+  figure/table and the ``repro reproduce`` artifact pipeline (deduplicated
+  cached parallel pass, CSV/JSON artifacts, combined ``REPORT.md``).
 
-Quick start (the documented entry point is :class:`repro.api.Session`)::
+Reproduce the whole paper (see ``docs/reproducing-the-paper.md``)::
+
+    $ repro reproduce --out artifact -j 4
+
+Quick start in Python (the documented entry point is
+:class:`repro.api.Session`)::
 
     from repro.api import Session
     session = Session()
@@ -41,8 +49,10 @@ from repro.core import FunctionalMemorySystem, SecDDRConfig
 from repro.errors import (
     RegistryLookupError,
     UnknownConfigurationError,
+    UnknownFigureError,
     UnknownWorkloadError,
 )
+from repro.figures import FigureSpec, figure_names, reproduce, write_artifacts
 from repro.secure import (
     SystemConfiguration,
     build_configuration,
@@ -59,15 +69,20 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Session",
+    "FigureSpec",
     "FunctionalMemorySystem",
     "SecDDRConfig",
     "RegistryLookupError",
     "UnknownConfigurationError",
+    "UnknownFigureError",
     "UnknownWorkloadError",
+    "figure_names",
+    "reproduce",
+    "write_artifacts",
     "SystemConfiguration",
     "build_configuration",
     "configuration_names",

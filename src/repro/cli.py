@@ -1,25 +1,28 @@
 """Command-line interface for the SecDDR reproduction.
 
 Gives downstream users a way to drive the main experiments without writing
-Python::
+Python.  The authoritative list of subcommands (with one-line descriptions)
+is generated from the parser itself -- see :func:`command_summaries`, which
+``repro --help`` renders as its epilog and the docs/README tests check
+against -- so the CLI, the README, and ``docs/`` cannot drift apart.
 
-    python -m repro.cli list                       # both registries at a glance
-    python -m repro.cli configs                    # list configurations
-    python -m repro.cli workloads                  # list workloads
+The headline subcommand is ``reproduce``: one deduplicated, cached,
+parallel pass over every registered figure/table of the paper::
+
+    python -m repro.cli reproduce --out artifact            # everything
+    python -m repro.cli reproduce --figures fig6,table2 -j 4
+    python -m repro.cli reproduce --figures fig6 --smoke    # tiny CI budget
+
+which writes per-figure CSV/JSON plus a combined ``REPORT.md`` under
+``--out``.  The remaining subcommands drive individual experiments::
+
     python -m repro.cli compare -w pr,mcf -c integrity_tree_64,secddr_xts
     python -m repro.cli compare --set tree_arity=32 --set counters_per_line=32
-    python -m repro.cli sweep --arities 8,32,64    # Figure 8 arity sweep (any arity)
-    python -m repro.cli attack                     # attack detection matrix
-    python -m repro.cli power                      # Table II power model
-    python -m repro.cli security                   # Section III arithmetic
-    python -m repro.cli scalability                # tree-vs-SecDDR scaling
+    python -m repro.cli sweep --arities 8,32,64    # Figure 8 sweeps (any arity)
 
 ``--set key=value`` derives unnamed configuration variants on the fly —
 they run through the parallel runner, the result cache, and baseline
 normalization exactly like registered configurations do.
-
-Every subcommand prints the same tables the benchmark harness records under
-``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -28,7 +31,7 @@ import argparse
 import os
 import sys
 import tempfile
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.power import table2_power_overheads
 from repro.analysis.scalability import scalability_sweep
@@ -36,6 +39,8 @@ from repro.analysis.security_math import SecurityAnalysis
 from repro.attacks.campaign import AttackCampaign, run_standard_campaign
 from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
 from repro.errors import AmbiguousConfigurationError, RegistryLookupError
+from repro.figures import FIGURES, figure_names, write_artifacts
+from repro.figures import reproduce as reproduce_figures
 from repro.secure.configs import (
     CONFIGURATIONS,
     ConfigurationLike,
@@ -49,9 +54,16 @@ from repro.sim.runner import JobEvent, ProgressHook, ResultCache
 from repro.sim.sweep import arity_sweep, counter_packing_sweep
 from repro.workloads.registry import ALL_WORKLOADS, workload_names
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "command_summaries", "main"]
 
 GB = 2**30
+
+#: Budget used by ``reproduce --smoke`` (tiny traces, single core, three
+#: representative workloads): small enough for CI, large enough to exercise
+#: the full pipeline including cache warm-up.
+SMOKE_ACCESSES = 240
+SMOKE_CORES = 1
+SMOKE_WORKLOADS = "mcf,pr,gcc"
 
 #: Named timing presets accepted by ``--set timing=...``.
 TIMING_PRESETS = {
@@ -62,15 +74,21 @@ TIMING_PRESETS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser for the CLI."""
+    """Build the argument parser for the CLI.
+
+    The epilog (the per-command summary table) is generated from the
+    subparsers themselves, so ``repro --help``, the README, and the docs all
+    describe the same command set -- see :func:`command_summaries`.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SecDDR reproduction: experiments, attacks, and analytical models.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser(
-        "list", help="print the configuration and workload registries as tables"
+        "list", help="print the configuration, workload, and figure registries as tables"
     )
     subparsers.add_parser("configs", help="list the named secure-memory configurations")
     subparsers.add_parser("workloads", help="list the available workloads")
@@ -126,7 +144,65 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
     _add_set_argument(sweep)
     _add_runner_arguments(sweep)
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="reproduce the paper's figures/tables into an artifact directory "
+        "(CSV + JSON per figure, combined REPORT.md)",
+    )
+    reproduce.add_argument(
+        "--figures", default="",
+        help="comma-separated figure keys (default: every registered figure; "
+        "run 'repro list' for the registry)",
+    )
+    reproduce.add_argument(
+        "-o", "--out", default="repro-artifact",
+        help="artifact output directory (default: ./repro-artifact)",
+    )
+    reproduce.add_argument(
+        "-w", "--workloads", default="",
+        help="restrict the figures' workload sets (comma-separated names; "
+        "ablation figures keep their fixed workload lists)",
+    )
+    reproduce.add_argument(
+        "-a", "--accesses", type=int, default=1000, help="LLC accesses per trace"
+    )
+    reproduce.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    reproduce.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI budget: %d accesses, %d core, workloads %s (unless -w is given)"
+        % (SMOKE_ACCESSES, SMOKE_CORES, SMOKE_WORKLOADS),
+    )
+    reproduce.add_argument(
+        "--strict", action="store_true",
+        help="exit with status 1 if any expected-trend check fails",
+    )
+    _add_runner_arguments(
+        reproduce,
+        cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
+        "cache under <out>/.simcache; a second run against it re-simulates "
+        "nothing",
+    )
+
+    parser.epilog = "commands:\n" + "\n".join(
+        "  %-12s %s" % (name, summary) for name, summary in command_summaries(parser)
+    ) + "\n\nfigure-by-figure guide: docs/reproducing-the-paper.md"
     return parser
+
+
+def command_summaries(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> List[Tuple[str, str]]:
+    """``(name, one-line help)`` for every subcommand, from the parser itself.
+
+    This is the single source of truth the ``repro --help`` epilog is
+    generated from and that the docs/README consistency tests check against.
+    """
+    parser = parser or build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return [(choice.dest, choice.help or "") for choice in action._choices_actions]
 
 
 def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
@@ -138,7 +214,10 @@ def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
+def _add_runner_arguments(
+    subparser: argparse.ArgumentParser,
+    cache_default_help: str = "$REPRO_CACHE_DIR if set, otherwise caching is off",
+) -> None:
     """Parallel-runner flags shared by the simulation subcommands."""
     subparser.add_argument(
         "-j", "--jobs", type=int, default=1,
@@ -146,8 +225,7 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     )
     subparser.add_argument(
         "--cache-dir", default=None,
-        help="directory for the on-disk result cache "
-        "(default: $REPRO_CACHE_DIR if set, otherwise caching is off)",
+        help="directory for the on-disk result cache (default: %s)" % cache_default_help,
     )
     subparser.add_argument(
         "--no-cache", action="store_true",
@@ -159,10 +237,12 @@ def _add_runner_arguments(subparser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+def _build_cache(
+    args: argparse.Namespace, default_dir: Optional[str] = None
+) -> Optional[ResultCache]:
     if args.no_cache:
         return None
-    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or default_dir
     return ResultCache(cache_dir) if cache_dir else None
 
 
@@ -292,6 +372,15 @@ def _cmd_list() -> int:
         spec = ALL_WORKLOADS[name]
         print("%-14s %-10s %8.1f %s" % (
             name, spec.suite, spec.mpki, "yes" if spec.memory_intensive else "no",
+        ))
+    print()
+    print("Figure registry (%d entries; run with 'repro reproduce --figures KEY,...')"
+          % len(FIGURES))
+    print("%-16s %-28s %-10s %s" % ("key", "paper artifact", "simulated", "description"))
+    for key in figure_names():
+        spec = FIGURES[key]
+        print("%-16s %-28s %-10s %s" % (
+            key, spec.paper_ref, "yes" if spec.simulated else "no", spec.description,
         ))
     return 0
 
@@ -464,6 +553,53 @@ def _run_sweep_command(
     return 0
 
 
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    accesses, cores = args.accesses, args.cores
+    workloads = _split(args.workloads)
+    if args.smoke:
+        accesses, cores = SMOKE_ACCESSES, SMOKE_CORES
+        workloads = workloads or _split(SMOKE_WORKLOADS)
+    experiment = ExperimentConfig(num_accesses=accesses, num_cores=cores)
+
+    # Unlike compare/sweep, reproduce defaults to a *persistent* cache under
+    # the artifact directory: re-invoking against the same --out re-simulates
+    # nothing.  --cache-dir / $REPRO_CACHE_DIR relocate it; --no-cache falls
+    # back to an ephemeral cache inside the pipeline (dedup still works, but
+    # nothing survives the run).
+    cache = _build_cache(args, default_dir=os.path.join(args.out, ".simcache"))
+
+    report = reproduce_figures(
+        figures=_split(args.figures) or None,
+        experiment=experiment,
+        jobs=args.jobs,
+        cache=cache,
+        progress=_build_progress(args),
+        workload_filter=workloads or None,
+    )
+    paths = write_artifacts(report, args.out)
+
+    for outcome in report.outcomes:
+        artifact = outcome.artifact
+        status = (
+            "%d/%d trends ok" % (
+                len(artifact.trends) - len(artifact.failed_trends), len(artifact.trends),
+            )
+            if artifact.trends else "no trend checks"
+        )
+        print("%-16s %-28s %s" % (artifact.key, artifact.paper_ref, status))
+    print()
+    print("simulated %d of %d unique simulation job(s) (rest were cache hits)"
+          % (report.simulated_jobs, report.unique_jobs))
+    print("wrote %d file(s) under %s (see REPORT.md)" % (len(paths), args.out))
+    _print_cache_stats(args, cache)
+    failed = report.failed_trends
+    if failed:
+        print()
+        for item in failed:
+            print("trend FAILED: %s" % item, file=sys.stderr)
+    return 1 if (failed and args.strict) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -496,6 +632,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_compare(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
     raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover
 
 

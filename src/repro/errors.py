@@ -18,6 +18,7 @@ __all__ = [
     "UnknownConfigurationError",
     "UnknownWorkloadError",
     "UnknownMechanismError",
+    "UnknownFigureError",
     "AmbiguousConfigurationError",
 ]
 
@@ -85,3 +86,9 @@ class UnknownMechanismError(RegistryLookupError):
     """A configuration references a mechanism with no registered factory."""
 
     kind = "mechanism"
+
+
+class UnknownFigureError(RegistryLookupError):
+    """No paper figure/table spec is registered under this key."""
+
+    kind = "figure"

@@ -1,10 +1,12 @@
 """Simulation driver: experiment runner, statistics, sweeps, result records.
 
-This is the layer the benchmark harness and the examples call into: it wires
-a workload trace, a secure-memory configuration, and the multi-core system
-model together, runs the simulation, and reports paper-style normalized
-results (IPC relative to the TDX-like baseline, per-workload and geometric
-means over all / memory-intensive workloads).
+This is the layer :mod:`repro.figures` (the paper-artifact pipeline), the
+benchmark harness, and the examples call into: it wires a workload trace, a
+secure-memory configuration, and the multi-core system model together, runs
+the simulation (serially or over a process pool, with on-disk result
+caching), and reports paper-style normalized results (IPC relative to the
+TDX-like baseline, per-workload and geometric means over all /
+memory-intensive workloads).
 """
 
 from repro.sim.stats import geometric_mean, normalize, summarize

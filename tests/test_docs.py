@@ -1,0 +1,92 @@
+"""Docs/CLI/registry consistency checks.
+
+The CLI's generated command list (:func:`repro.cli.command_summaries`) and
+the figure registry are the single sources of truth; these tests keep the
+README and the ``docs/`` pages from drifting away from them.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import command_summaries
+from repro.figures import figure_names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+DOCS_DIR = REPO_ROOT / "docs"
+REPRODUCING = DOCS_DIR / "reproducing-the-paper.md"
+ARCHITECTURE = DOCS_DIR / "architecture.md"
+
+#: Figure-guide sections look like ``### `fig6` — ...``.
+GUIDE_HEADING = re.compile(r"^### `([a-z0-9_]+)`", re.MULTILINE)
+
+
+class TestReproducingGuide:
+    def test_exists(self):
+        assert REPRODUCING.is_file()
+
+    def test_every_documented_spec_exists_in_the_registry(self):
+        documented = GUIDE_HEADING.findall(REPRODUCING.read_text())
+        assert documented, "no figure sections found in the guide"
+        unknown = set(documented) - set(figure_names())
+        assert not unknown, "docs name unregistered figure specs: %s" % sorted(unknown)
+
+    def test_every_registered_spec_is_documented(self):
+        documented = set(GUIDE_HEADING.findall(REPRODUCING.read_text()))
+        missing = set(figure_names()) - documented
+        assert not missing, "registered specs missing from the guide: %s" % sorted(missing)
+
+    def test_guide_sections_follow_registry_order(self):
+        documented = GUIDE_HEADING.findall(REPRODUCING.read_text())
+        assert documented == figure_names()
+
+
+class TestArchitectureDoc:
+    def test_exists(self):
+        assert ARCHITECTURE.is_file()
+
+    @pytest.mark.parametrize("layer", [
+        "repro.cpu", "repro.cache", "repro.controller", "repro.dram",
+        "repro.secure", "repro.sim", "repro.figures", "repro.workloads",
+        "repro.core", "repro.crypto", "repro.attacks", "repro.analysis",
+    ])
+    def test_every_layer_is_described(self, layer):
+        assert layer in ARCHITECTURE.read_text()
+
+
+class TestCommandDocumentation:
+    def test_command_summaries_cover_the_parser(self):
+        names = [name for name, _ in command_summaries()]
+        assert "reproduce" in names and "compare" in names and "list" in names
+        assert all(summary for _, summary in command_summaries())
+
+    def test_readme_documents_every_subcommand(self):
+        readme = README.read_text()
+        missing = [
+            name for name, _ in command_summaries()
+            if not re.search(r"repro %s\b" % re.escape(name), readme)
+        ]
+        assert not missing, "README does not show these subcommands: %s" % missing
+
+    def test_cli_docstring_agrees_with_the_parser(self):
+        import repro.cli
+
+        # The docstring explains the generated epilog instead of hand-listing
+        # every command; it must at least name the headline subcommands it
+        # shows examples for, and never name a command that does not exist.
+        documented = set(re.findall(r"repro\.cli (\w+)", repro.cli.__doc__ or ""))
+        assert documented <= {name for name, _ in command_summaries()}
+
+
+class TestPackageDocstrings:
+    @pytest.mark.parametrize("module", [
+        "repro", "repro.analysis", "repro.attacks", "repro.cache",
+        "repro.controller", "repro.core", "repro.cpu", "repro.crypto",
+        "repro.dram", "repro.figures", "repro.secure", "repro.sim",
+        "repro.workloads",
+    ])
+    def test_every_subpackage_has_a_docstring(self, module):
+        imported = __import__(module, fromlist=["__doc__"])
+        assert imported.__doc__ and len(imported.__doc__.strip()) > 40
