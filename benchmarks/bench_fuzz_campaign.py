@@ -1,0 +1,45 @@
+"""Security-property fuzz campaign over the functional SecDDR model.
+
+Thin pytest-benchmark wrapper over :class:`repro.fuzz.FuzzCampaign`: a
+seeded campaign against the three functional profiles, asserting the paper's
+headline security claims as properties -- SecDDR upholds every oracle, the
+TDX-like baseline demonstrably loses at least one replay-style class, and
+the whole matrix is deterministic per seed.  Scenario outcomes land in a
+``fuzz/`` result cache under the shared benchmark cache directory, so a
+second run executes nothing.
+
+Environment knobs (on top of the shared ``REPRO_BENCH_*`` set):
+
+* ``REPRO_BENCH_FUZZ_BUDGET`` -- scenarios per campaign (default 30).
+* ``REPRO_BENCH_FUZZ_SEED``   -- campaign seed (default 7).
+"""
+
+from __future__ import annotations
+
+from conftest import RESULTS_DIR, _env_int, bench_cache, bench_jobs
+
+from repro.fuzz import FuzzCampaign, detection_matrix_artifact
+
+
+def test_fuzz_campaign_properties(benchmark):
+    campaign = FuzzCampaign(
+        seed=_env_int("REPRO_BENCH_FUZZ_SEED", 7),
+        budget=_env_int("REPRO_BENCH_FUZZ_BUDGET", 30),
+        jobs=bench_jobs(),
+        # Scenario results nest under fuzz/ inside the shared benchmark cache.
+        cache=bench_cache(),
+    )
+    report = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    artifact = detection_matrix_artifact(report)
+    print(artifact.format_text())
+    print(report.format_matrix())
+    (RESULTS_DIR / "fuzz_matrix.txt").parent.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fuzz_matrix.txt").write_text(report.format_matrix() + "\n")
+
+    violations = report.violations()
+    assert not violations, "oracle violations: %s" % [v.describe() for v in violations]
+    assert report.missed_kinds("secddr") == []
+    assert report.missed_kinds("baseline_no_rap"), (
+        "the no-RAP baseline should silently lose a replay-style class"
+    )

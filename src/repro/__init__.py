@@ -22,10 +22,18 @@ substrate its evaluation depends on:
 * :mod:`repro.figures` -- one :class:`~repro.figures.FigureSpec` per paper
   figure/table and the ``repro reproduce`` artifact pipeline (deduplicated
   cached parallel pass, CSV/JSON artifacts, combined ``REPORT.md``).
+* :mod:`repro.fuzz` -- property-based adversarial fuzzing of the security
+  claims: seeded scenario generation, security oracles with a golden shadow
+  memory, cached parallel campaigns, scenario shrinking, JSONL corpora
+  (``repro fuzz``, see ``docs/fuzzing.md``).
 
 Reproduce the whole paper (see ``docs/reproducing-the-paper.md``)::
 
     $ repro reproduce --out artifact -j 4
+
+and fuzz its security claims::
+
+    $ repro fuzz --seed 7 --budget 200 -j 4 --corpus fuzz-corpus
 
 Quick start in Python (the documented entry point is
 :class:`repro.api.Session`)::
@@ -69,7 +77,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Session",

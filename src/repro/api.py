@@ -265,6 +265,45 @@ class Session:
             progress=self.progress,
         )
 
+    def fuzz(
+        self,
+        configurations=None,
+        seed: int = 1,
+        budget: int = 200,
+        shrink_violations: bool = True,
+        **generator_options,
+    ):
+        """Run a property-based adversarial fuzz campaign (``repro fuzz``).
+
+        ``configurations`` accepts functional profile names
+        (``"secddr"``, ``"baseline_no_rap"``, ``"secddr_no_ewcrc"``),
+        configuration-registry names, or :class:`SystemConfiguration`
+        values (projected onto the functional model by their security
+        claims); the default is the three functional profiles.  Scenarios
+        fan out over the session's worker pool, and when the session has a
+        result cache the campaign caches scenario outcomes under a ``fuzz/``
+        subdirectory of it, so repeated campaigns re-execute nothing.
+        ``generator_options`` forward to
+        :class:`repro.fuzz.ScenarioGenerator` (``workloads``,
+        ``background_ops``, ``benign_fraction``, ``max_actions``).
+        Returns a :class:`repro.fuzz.FuzzReport`.
+        """
+        from repro.fuzz import FuzzCampaign
+
+        campaign = FuzzCampaign(
+            seed=seed,
+            budget=budget,
+            configurations=configurations,
+            jobs=self.jobs,
+            # The campaign nests scenario results under a fuzz/ subdirectory
+            # of the session's simulation cache, keeping the keyspaces apart.
+            cache=self.cache,
+            progress=self.progress,
+            shrink_violations=shrink_violations,
+            **generator_options,
+        )
+        return campaign.run()
+
     # -- introspection -------------------------------------------------
     def configuration_registry(self):
         return CONFIGURATION_REGISTRY

@@ -26,9 +26,20 @@ from repro.attacks.write_drop import WriteDropAttack, WriteToReadConversionAttac
 from repro.attacks.dimm_substitution import DimmSubstitutionAttack
 from repro.attacks.rowhammer import RowHammerAttack, ReadTamperAttack
 from repro.attacks.relocation import DataRelocationAttack
-from repro.attacks.campaign import AttackCampaign, run_standard_campaign
+from repro.attacks.campaign import (
+    STANDARD_CONFIGURATIONS,
+    AttackCampaign,
+    functional_configuration,
+    resolve_attack_configuration,
+    run_standard_campaign,
+    standard_attacks,
+)
 
 __all__ = [
+    "STANDARD_CONFIGURATIONS",
+    "functional_configuration",
+    "resolve_attack_configuration",
+    "standard_attacks",
     "BusAdversary",
     "RecordingAdversary",
     "AttackOutcome",

@@ -6,12 +6,23 @@ the summary table makes the headline claims checkable -- the TDX-like
 baseline (integrity but no replay protection) falls to every replay-style
 attack, while SecDDR detects all of them and loses nothing on the
 data-corruption attacks that MACs already caught.
+
+Configurations are not limited to the three standard functional profiles:
+anything :func:`resolve_attack_configuration` accepts may be campaigned
+against -- a functional profile name (``secddr``, ``baseline_no_rap``,
+``secddr_no_ewcrc``), a performance-registry name (``secddr_xts``,
+``tdx_baseline``, ...), a :class:`~repro.secure.configs.SystemConfiguration`
+(including unregistered ``derive()``-d variants), or a raw
+:class:`~repro.core.config.SecDDRConfig`.  Registry specs are projected onto
+the functional model by their security claims: mechanisms with replay
+protection run as full SecDDR, the rest as the MAC-only baseline.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro.attacks.address_corruption import AddressCorruptionAttack
 from repro.attacks.dimm_substitution import DimmSubstitutionAttack
@@ -22,10 +33,22 @@ from repro.attacks.rowhammer import ReadTamperAttack, RowHammerAttack
 from repro.attacks.write_drop import WriteDropAttack, WriteToReadConversionAttack
 from repro.core.config import SecDDRConfig
 from repro.core.memory_system import FunctionalMemorySystem
+from repro.errors import AmbiguousConfigurationError, UnknownAttackConfigurationError
+from repro.secure.configs import REGISTRY as CONFIGURATION_REGISTRY
+from repro.secure.configs import SystemConfiguration
 
-__all__ = ["AttackCampaign", "run_standard_campaign", "STANDARD_CONFIGURATIONS"]
+__all__ = [
+    "AttackCampaign",
+    "run_standard_campaign",
+    "standard_attacks",
+    "STANDARD_CONFIGURATIONS",
+    "AttackConfigurationLike",
+    "functional_configuration",
+    "resolve_attack_configuration",
+    "resolve_attack_configurations",
+]
 
-#: Functional configurations the campaign compares.
+#: Functional configurations the standard campaign compares.
 STANDARD_CONFIGURATIONS: Dict[str, SecDDRConfig] = {
     # Integrity (MACs) but no replay protection: resembles Intel TDX.
     "baseline_no_rap": SecDDRConfig.baseline_no_rap(),
@@ -35,8 +58,104 @@ STANDARD_CONFIGURATIONS: Dict[str, SecDDRConfig] = {
     "secddr": SecDDRConfig(),
 }
 
+#: Anything the campaign accepts as "a configuration to attack".
+AttackConfigurationLike = Union[str, SecDDRConfig, SystemConfiguration]
 
-def _standard_attacks() -> List[object]:
+
+def functional_configuration(spec: SystemConfiguration) -> SecDDRConfig:
+    """Project a performance-registry spec onto the functional SecDDR model.
+
+    The functional model executes the SecDDR protocol family only, so other
+    mechanisms map by the security property they claim: anything with replay
+    protection (trees, InvisiMem, SecDDR itself) runs as full SecDDR, and
+    anything without it (the TDX-like baseline, encrypt-only bounds) runs as
+    the MAC-only no-RAP baseline.
+    """
+    if spec.mechanism == "secddr":
+        return SecDDRConfig()
+    if spec.replay_protection:
+        return SecDDRConfig()
+    return SecDDRConfig.baseline_no_rap()
+
+
+def _functional_config_name(config: SecDDRConfig) -> str:
+    """A stable, content-derived name for a raw functional config.
+
+    Deriving the name from the field values keeps two *different* raw
+    configs distinguishable in one campaign (and in result tables), while
+    the same config always maps to the same name across runs.
+    """
+    digest = hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:8]
+    return "custom_functional_%s" % digest
+
+
+def _available_names() -> List[str]:
+    return list(STANDARD_CONFIGURATIONS) + [
+        name for name in CONFIGURATION_REGISTRY.names()
+        if name not in STANDARD_CONFIGURATIONS
+    ]
+
+
+def resolve_attack_configuration(
+    configuration: AttackConfigurationLike,
+) -> Tuple[str, SecDDRConfig]:
+    """``(name, functional config)`` for anything the campaign accepts.
+
+    Names resolve against the functional profiles first, then the
+    configuration registry (projected via :func:`functional_configuration`);
+    unknown names raise :class:`UnknownAttackConfigurationError` with a
+    closest-match suggestion spanning both vocabularies.
+    """
+    if isinstance(configuration, SecDDRConfig):
+        return (_functional_config_name(configuration), configuration)
+    if isinstance(configuration, SystemConfiguration):
+        return (configuration.name, functional_configuration(configuration))
+    if configuration in STANDARD_CONFIGURATIONS:
+        return (configuration, STANDARD_CONFIGURATIONS[configuration])
+    if configuration in CONFIGURATION_REGISTRY:
+        return (
+            configuration,
+            functional_configuration(CONFIGURATION_REGISTRY[configuration]),
+        )
+    raise UnknownAttackConfigurationError(configuration, _available_names())
+
+
+def resolve_attack_configurations(
+    configurations: Union[
+        Mapping[str, AttackConfigurationLike], Iterable[AttackConfigurationLike]
+    ],
+) -> Dict[str, SecDDRConfig]:
+    """Normalize a mapping or sequence of configuration-likes to name -> config.
+
+    A mapping keeps its keys as the campaign's row names (values may still be
+    names or specs); a sequence names each entry through
+    :func:`resolve_attack_configuration`.
+    """
+    resolved: Dict[str, SecDDRConfig] = {}
+    if isinstance(configurations, Mapping):
+        for name, value in configurations.items():
+            resolved[name] = (
+                value
+                if isinstance(value, SecDDRConfig)
+                else resolve_attack_configuration(value)[1]
+            )
+        return resolved
+    for value in configurations:
+        name, config = resolve_attack_configuration(value)
+        if name in resolved:
+            # AmbiguousConfigurationError so the CLI reports this as a
+            # one-line user-input error instead of a traceback.
+            raise AmbiguousConfigurationError(
+                "two campaign configurations resolve to the name %r; give "
+                "derived specs distinct names (derive(name=...)) or pass a "
+                "{name: config} mapping to name entries explicitly" % name
+            )
+        resolved[name] = config
+    return resolved
+
+
+def standard_attacks() -> List[object]:
+    """A fresh instance of the paper's eight-attack battery."""
     return [
         BusReplayAttack(),
         AddressCorruptionAttack(),
@@ -49,14 +168,27 @@ def _standard_attacks() -> List[object]:
     ]
 
 
+# Backwards-compatible alias (the factory used to be module-private).
+_standard_attacks = standard_attacks
+
+
 @dataclass
 class AttackCampaign:
-    """Runs a set of attacks against a set of functional configurations."""
+    """Runs a set of attacks against a set of functional configurations.
 
-    configurations: Dict[str, SecDDRConfig] = field(
-        default_factory=lambda: dict(STANDARD_CONFIGURATIONS)
-    )
-    attack_factory: Callable[[], List[object]] = _standard_attacks
+    ``configurations`` may be the classic ``{name: SecDDRConfig}`` mapping or
+    any sequence/mapping of :data:`AttackConfigurationLike` values -- registry
+    names and derived :class:`SystemConfiguration` variants included; they are
+    normalized through :func:`resolve_attack_configurations` on construction.
+    """
+
+    configurations: Union[
+        Mapping[str, AttackConfigurationLike], Iterable[AttackConfigurationLike]
+    ] = field(default_factory=lambda: dict(STANDARD_CONFIGURATIONS))
+    attack_factory: Callable[[], List[object]] = standard_attacks
+
+    def __post_init__(self) -> None:
+        self.configurations = resolve_attack_configurations(self.configurations)
 
     def run(self) -> List[AttackResult]:
         """Execute every (configuration, attack) pair on a fresh memory system."""
@@ -91,6 +223,17 @@ class AttackCampaign:
         return "\n".join(lines)
 
 
-def run_standard_campaign() -> List[AttackResult]:
-    """Convenience wrapper: run the standard campaign and return the results."""
-    return AttackCampaign().run()
+def run_standard_campaign(
+    configurations: Union[
+        Mapping[str, AttackConfigurationLike], Iterable[AttackConfigurationLike], None
+    ] = None,
+) -> List[AttackResult]:
+    """Run the campaign (standard profiles by default) and return the results.
+
+    ``configurations`` accepts everything :class:`AttackCampaign` does, so
+    e.g. ``run_standard_campaign(["secddr_xts", "tdx_baseline"])`` campaigns
+    against performance-registry entries directly.
+    """
+    if configurations is None:
+        return AttackCampaign().run()
+    return AttackCampaign(configurations=configurations).run()

@@ -22,7 +22,17 @@ which writes per-figure CSV/JSON plus a combined ``REPORT.md`` under
 
 ``--set key=value`` derives unnamed configuration variants on the fly —
 they run through the parallel runner, the result cache, and baseline
-normalization exactly like registered configurations do.
+normalization exactly like registered configurations do.  ``--seed`` (default
+1, the documented trace seed) seeds the workload generators, so stochastic
+traces are reproducible end to end.
+
+The security claims have their own generative check::
+
+    python -m repro.cli fuzz --seed 7 --budget 200 -j 4 --corpus fuzz-corpus
+
+which generates seeded adversarial scenarios (random traces composed with
+random tamper programs), judges them against the security oracles, prints
+the detection matrix, and writes a JSONL corpus plus artifacts.
 """
 
 from __future__ import annotations
@@ -71,6 +81,11 @@ TIMING_PRESETS = {
     "ddr4_2400": DDR4_2400,
     "ddr5_4800": DDR5_4800,
 }
+
+#: The documented default workload-generator seed.  It matches
+#: ``ExperimentConfig.seed``, so the CLI default and the library default can
+#: never disagree.
+DEFAULT_TRACE_SEED = ExperimentConfig().seed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
     compare.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
     compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_seed_argument(compare)
     _add_set_argument(compare)
     _add_runner_arguments(compare)
 
@@ -142,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
     sweep.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
     sweep.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
+    _add_seed_argument(sweep)
     _add_set_argument(sweep)
     _add_runner_arguments(sweep)
 
@@ -177,11 +194,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="exit with status 1 if any expected-trend check fails",
     )
+    _add_seed_argument(reproduce)
     _add_runner_arguments(
         reproduce,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
         "cache under <out>/.simcache; a second run against it re-simulates "
         "nothing",
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="property-based adversarial fuzzing of the security claims "
+        "(seeded scenarios, detection matrix, JSONL corpus)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=DEFAULT_TRACE_SEED,
+        help="campaign seed: the same seed always generates the same "
+        "scenarios, outcomes, and detection matrix (default: %d)"
+        % DEFAULT_TRACE_SEED,
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="number of scenarios to generate (each runs against every "
+        "selected configuration)",
+    )
+    fuzz.add_argument(
+        "-c", "--configs", default="baseline_no_rap,secddr_no_ewcrc,secddr",
+        help="comma-separated configurations to fuzz: functional profiles "
+        "(baseline_no_rap, secddr_no_ewcrc, secddr) and/or configuration-"
+        "registry names (default: the three functional profiles)",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write corpus.jsonl, the detection-matrix CSV/JSON artifacts, "
+        "and REPORT.md under this directory",
+    )
+    fuzz.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="minimize oracle-violating scenarios to their shortest "
+        "reproducing tamper programs (default: on)",
+    )
+    _add_runner_arguments(
+        fuzz,
+        cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
+        "cache under <corpus>/.fuzzcache when --corpus is given; a repeated "
+        "campaign re-executes nothing",
     )
 
     parser.epilog = "commands:\n" + "\n".join(
@@ -203,6 +260,16 @@ def command_summaries(
         a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
     )
     return [(choice.dest, choice.help or "") for choice in action._choices_actions]
+
+
+def _add_seed_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--seed", type=int, default=DEFAULT_TRACE_SEED,
+        help="workload-generator seed: traces are a pure function of "
+        "(workload, accesses, seed), so runs are reproducible end to end "
+        "and a changed seed transparently invalidates cached results "
+        "(default: %d)" % DEFAULT_TRACE_SEED,
+    )
 
 
 def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
@@ -382,7 +449,28 @@ def _cmd_list() -> int:
         print("%-16s %-28s %-10s %s" % (
             key, spec.paper_ref, "yes" if spec.simulated else "no", spec.description,
         ))
+    print()
+    _print_attack_registry()
     return 0
+
+
+def _print_attack_registry() -> None:
+    """The 'attacks' section of ``repro list``: battery + fuzz vocabulary."""
+    from repro.attacks.campaign import standard_attacks
+    from repro.fuzz.actions import TAMPER_ACTIONS
+
+    attacks = standard_attacks()
+    print("Attack battery (%d scenarios; run with 'repro attack')" % len(attacks))
+    print("%-26s %s" % ("name", "description"))
+    for attack in attacks:
+        summary = ((attack.__doc__ or "").strip().splitlines() or [""])[0]
+        print("%-26s %s" % (attack.name, summary))
+    print()
+    print("Tamper-action vocabulary (%d actions; 'repro fuzz' generates from these)"
+          % len(TAMPER_ACTIONS))
+    print("%-18s %-10s %s" % ("kind", "needs", "description"))
+    for kind, action in TAMPER_ACTIONS.items():
+        print("%-18s %-10s %s" % (kind, action.detected_by, action.description))
 
 
 def _cmd_configs() -> int:
@@ -465,7 +553,9 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
+    experiment = ExperimentConfig(
+        num_accesses=args.accesses, num_cores=args.cores, seed=args.seed
+    )
     cache = _build_cache(args)
     configurations = _derived_configurations(
         _split(args.configurations), _parse_overrides(args.overrides)
@@ -488,7 +578,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    experiment = ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores)
+    experiment = ExperimentConfig(
+        num_accesses=args.accesses, num_cores=args.cores, seed=args.seed
+    )
     cache = _build_cache(args)
     # The arity and packing sweeps share most (workload, configuration)
     # pairs (including the baseline); without a cache each would re-simulate
@@ -559,7 +651,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.smoke:
         accesses, cores = SMOKE_ACCESSES, SMOKE_CORES
         workloads = workloads or _split(SMOKE_WORKLOADS)
-    experiment = ExperimentConfig(num_accesses=accesses, num_cores=cores)
+    experiment = ExperimentConfig(
+        num_accesses=accesses, num_cores=cores, seed=args.seed
+    )
 
     # Unlike compare/sweep, reproduce defaults to a *persistent* cache under
     # the artifact directory: re-invoking against the same --out re-simulates
@@ -600,6 +694,54 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 1 if (failed and args.strict) else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzCampaign, write_fuzz_artifacts
+
+    # A plain ResultCache here: the campaign nests scenario results under a
+    # fuzz/ subdirectory of it, so a shared $REPRO_CACHE_DIR never mixes
+    # simulation and scenario entries in one keyspace.  Like reproduce,
+    # campaigns writing a corpus default to a persistent cache beside it, so
+    # an interrupted or repeated campaign resumes instead of re-executing.
+    cache = _build_cache(
+        args,
+        default_dir=os.path.join(args.corpus, ".fuzzcache") if args.corpus else None,
+    )
+    campaign = FuzzCampaign(
+        seed=args.seed,
+        budget=args.budget,
+        configurations=_split(args.configs),
+        jobs=args.jobs,
+        cache=cache,
+        progress=_build_progress(args),
+        shrink_violations=args.shrink,
+    )
+    report = campaign.run()
+
+    print("Fuzz campaign: seed %d, %d scenario(s) x %d configuration(s)"
+          % (report.seed, report.budget, len(report.configurations)))
+    print()
+    print(report.format_matrix())
+    print()
+    for name in report.configurations:
+        missed = report.missed_kinds(name)
+        print("%-28s missed classes: %s" % (name, ", ".join(missed) if missed else "none"))
+    violations = report.violations()
+    print()
+    print("oracle violations: %d" % len(violations))
+    for result in violations:
+        print("  %s" % result.describe(), file=sys.stderr)
+    for shrunk in report.shrunk:
+        print("  minimized: %s" % shrunk.describe(), file=sys.stderr)
+    if args.corpus:
+        paths = write_fuzz_artifacts(report, args.corpus)
+        print("wrote %d file(s) under %s (see REPORT.md)" % (len(paths), args.corpus))
+    print("executed %d of %d job(s) (rest were cache hits)"
+          % (report.executed_jobs, report.executed_jobs + report.cached_jobs))
+    # The campaign's own (nested) scenario cache holds the hit/miss counts.
+    _print_cache_stats(args, campaign.cache)
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -634,6 +776,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sweep(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover
 
 

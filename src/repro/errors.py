@@ -19,6 +19,7 @@ __all__ = [
     "UnknownWorkloadError",
     "UnknownMechanismError",
     "UnknownFigureError",
+    "UnknownAttackConfigurationError",
     "AmbiguousConfigurationError",
 ]
 
@@ -92,3 +93,15 @@ class UnknownFigureError(RegistryLookupError):
     """No paper figure/table spec is registered under this key."""
 
     kind = "figure"
+
+
+class UnknownAttackConfigurationError(RegistryLookupError):
+    """A name is neither a functional attack profile nor a registered configuration.
+
+    The attack campaign and the fuzz engine accept both vocabularies (the
+    functional ``secddr``/``baseline_no_rap``-style profiles and the
+    performance-registry names), so the available list -- and therefore the
+    closest-match suggestion -- spans both.
+    """
+
+    kind = "attack configuration"

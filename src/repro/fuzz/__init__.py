@@ -1,0 +1,86 @@
+"""Property-based adversarial fuzzing of the secure-memory mechanisms.
+
+The hand-written attack battery (:mod:`repro.attacks`) checks eight fixed
+scenarios; this package checks the paper's security *properties* over
+thousands of randomized adversaries instead.  It is the codebase's first
+generative subsystem: scenarios are produced, executed, judged, minimized
+and archived rather than enumerated.
+
+* :mod:`repro.fuzz.actions` -- the tamper-action vocabulary (replay,
+  bit-flip, drop, reorder, relocate, substitute, delay-then-replay, ...),
+  each knowing which defense layer the paper says catches it.
+* :mod:`repro.fuzz.scenario` -- :class:`FuzzScenario` and the seeded
+  :class:`ScenarioGenerator` composing registry-workload background traffic
+  with random tamper programs.
+* :mod:`repro.fuzz.adversary` -- :class:`TamperAdversary`, the compiled
+  tamper program riding the :class:`~repro.attacks.adversary.BusAdversary`
+  hook API with occurrence-triggered transforms.
+* :mod:`repro.fuzz.oracles` -- :func:`run_scenario` plus the golden shadow
+  memory and the detection/false-alarm/functional-correctness oracles.
+* :mod:`repro.fuzz.engine` -- :class:`FuzzCampaign`: fan scenarios across
+  configurations through the shared parallel runner and an on-disk result
+  cache (campaigns are resumable and deterministic per seed).
+* :mod:`repro.fuzz.shrink` -- :func:`shrink_scenario`, minimizing a failing
+  scenario to its shortest reproducing tamper program.
+* :mod:`repro.fuzz.corpus` -- JSONL corpora plus the detection-matrix
+  artifacts (figures schema) and ``REPORT.md``.
+
+Quick start::
+
+    from repro.fuzz import run_fuzz_campaign, write_fuzz_artifacts
+
+    report = run_fuzz_campaign(seed=7, budget=200, jobs=4)
+    print(report.format_matrix())
+    write_fuzz_artifacts(report, "fuzz-corpus/")
+
+which is exactly what ``repro fuzz --seed 7 --budget 200 -j 4`` does; the
+fluent entry point is :meth:`repro.api.Session.fuzz`.
+"""
+
+from repro.fuzz.actions import TAMPER_ACTIONS, TamperAction, expected_detected
+from repro.fuzz.adversary import TamperAdversary
+from repro.fuzz.corpus import (
+    FUZZ_CORPUS_SCHEMA_VERSION,
+    detection_matrix_artifact,
+    read_corpus,
+    render_fuzz_report_markdown,
+    write_fuzz_artifacts,
+)
+from repro.fuzz.engine import (
+    FUZZ_CACHE_SCHEMA_VERSION,
+    FuzzCampaign,
+    FuzzJob,
+    FuzzReport,
+    FuzzResultCache,
+    run_fuzz_campaign,
+)
+from repro.fuzz.oracles import FuzzOutcome, ScenarioResult, run_scenario
+from repro.fuzz.scenario import FuzzScenario, ScenarioGenerator, VictimOp, value_bytes
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "FUZZ_CACHE_SCHEMA_VERSION",
+    "FUZZ_CORPUS_SCHEMA_VERSION",
+    "TAMPER_ACTIONS",
+    "TamperAction",
+    "TamperAdversary",
+    "FuzzCampaign",
+    "FuzzJob",
+    "FuzzOutcome",
+    "FuzzReport",
+    "FuzzResultCache",
+    "FuzzScenario",
+    "ScenarioGenerator",
+    "ScenarioResult",
+    "ShrinkResult",
+    "VictimOp",
+    "detection_matrix_artifact",
+    "expected_detected",
+    "read_corpus",
+    "render_fuzz_report_markdown",
+    "run_fuzz_campaign",
+    "run_scenario",
+    "shrink_scenario",
+    "value_bytes",
+    "write_fuzz_artifacts",
+]

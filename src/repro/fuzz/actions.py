@@ -1,0 +1,437 @@
+"""The tamper-action vocabulary: what one adversary step *is*.
+
+A :class:`TamperAction` is a small, serializable description of one bus-level
+adversary behaviour bound to concrete target addresses -- replay a recorded
+response, flip a ciphertext bit, drop or redirect a write, splice another
+address's (data, MAC) pair, and so on.  Actions are the generative unit of
+the fuzzer: the scenario generator samples them at random, each action emits
+the short victim-operation script that exercises it (:meth:`TamperAction.script`),
+and :meth:`TamperAction.install` compiles it onto the
+:class:`~repro.fuzz.adversary.TamperAdversary`'s occurrence-triggered hooks,
+which ride the same :class:`~repro.attacks.adversary.BusAdversary` hook API
+the hand-written attacks use.
+
+Every action declares which defense layer the paper says catches it
+(``detected_by``):
+
+``mac``
+    Any MAC-protected configuration detects it (data corruption, splicing,
+    misdirected reads): the address-bound per-line MAC is enough.
+``rap``
+    Detection requires replay protection (SecDDR's E-MAC / transaction
+    counters): plain MACs verify happily on stale-but-authentic pairs.
+``ewcrc``
+    Detection additionally requires the encrypted write CRC: the stale pair
+    left behind by a misdirected write is internally consistent, so only the
+    write-time address check catches it (paper Section III-B).
+
+The :func:`expected_detected` predicate turns this into the per-configuration
+security property the oracles check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, Callable, ClassVar, Dict, List, Tuple, Type
+
+from repro.core.config import SecDDRConfig
+from repro.core.protocol import ReadCommand, ReadResponse, WriteTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.fuzz.adversary import TamperAdversary
+    from repro.fuzz.scenario import VictimOp
+
+__all__ = [
+    "TamperAction",
+    "TAMPER_ACTIONS",
+    "action_from_dict",
+    "expected_detected",
+    "ReplayAction",
+    "BitFlipReadAction",
+    "BitFlipWriteAction",
+    "DropWriteAction",
+    "DropReadAction",
+    "RedirectWriteAction",
+    "ReorderWritesAction",
+    "RelocateReadAction",
+    "SubstituteAction",
+    "DelayedReplayAction",
+]
+
+#: ``detected_by`` levels, weakest defense first.
+_DETECTION_LAYERS = ("mac", "rap", "ewcrc")
+
+
+def expected_detected(config: SecDDRConfig, kind: str) -> bool:
+    """Whether the paper's analysis says ``config`` must detect ``kind``.
+
+    This is the per-scenario security property the oracles enforce: a missed
+    attack is an *oracle violation* only when the configuration claims the
+    defense layer that catches this action class.
+    """
+    layer = TAMPER_ACTIONS[kind].detected_by
+    if layer == "mac":
+        return True  # every evaluated configuration stores per-line MACs
+    if layer == "rap":
+        return config.emac_enabled
+    if layer == "ewcrc":
+        return config.emac_enabled and config.ewcrc_enabled
+    raise ValueError("unknown detection layer %r" % layer)  # pragma: no cover
+
+
+def _flip_bit(payload: bytes, bit: int) -> bytes:
+    data = bytearray(payload)
+    data[(bit // 8) % len(data)] ^= 1 << (bit % 8)
+    return bytes(data)
+
+
+@dataclass(frozen=True)
+class TamperAction:
+    """Base class: one adversary behaviour bound to a target address.
+
+    Subclasses set the class-level vocabulary fields and implement
+    :meth:`script` (the victim operations that exercise the action) and
+    :meth:`install` (the occurrence-triggered bus hooks that perform it).
+    """
+
+    address: int
+
+    #: Vocabulary name (stable: corpus files and cache keys embed it).
+    kind: ClassVar[str] = "abstract"
+    #: One-line description shown by ``repro list``.
+    description: ClassVar[str] = ""
+    #: Which defense layer detects it: "mac", "rap", or "ewcrc".
+    detected_by: ClassVar[str] = "mac"
+
+    # ------------------------------------------------------------------
+    def addresses(self) -> Tuple[int, ...]:
+        """Every address whose observed value this action may corrupt."""
+        return (self.address,)
+
+    def script(self, next_value: Callable[[], int]) -> "List[VictimOp]":
+        """The victim operations that exercise this action."""
+        raise NotImplementedError
+
+    def install(self, adversary: "TamperAdversary", index: int) -> None:
+        """Register this action's triggers on ``adversary`` as action ``index``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, rng, address: int, partner: int) -> "TamperAction":
+        """A randomized instance targeting ``address`` (``partner`` optional)."""
+        return cls(address=address)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+    # -- shared script fragments ---------------------------------------
+    def _update_and_read(self, next_value: Callable[[], int]) -> "List[VictimOp]":
+        """write v0 / read / write v1 / read -- the replay-style timeline."""
+        from repro.fuzz.scenario import VictimOp
+
+        return [
+            VictimOp("write", self.address, next_value()),
+            VictimOp("read", self.address),
+            VictimOp("write", self.address, next_value()),
+            VictimOp("read", self.address),
+        ]
+
+    def _write_and_read(self, next_value: Callable[[], int]) -> "List[VictimOp]":
+        from repro.fuzz.scenario import VictimOp
+
+        return [
+            VictimOp("write", self.address, next_value()),
+            VictimOp("read", self.address),
+        ]
+
+
+@dataclass(frozen=True)
+class ReplayAction(TamperAction):
+    """Record a read response and substitute it on a later read (Figure 1)."""
+
+    kind: ClassVar[str] = "replay"
+    description: ClassVar[str] = "replay a recorded (data, MAC) read response after an update"
+    detected_by: ClassVar[str] = "rap"
+
+    def script(self, next_value):
+        return self._update_and_read(next_value)
+
+    def install(self, adversary, index):
+        def substitute(command: ReadCommand, response: ReadResponse, adv) -> ReadResponse:
+            recorded = adv.recorded_response(self.address, 0)
+            if recorded is None:  # pragma: no cover - script guarantees a record
+                return response
+            return response.replayed_with(recorded)
+
+        adversary.on_read_response(self.address, 1, index, substitute)
+
+
+@dataclass(frozen=True)
+class BitFlipReadAction(TamperAction):
+    """Flip a ciphertext bit of a read response in flight."""
+
+    bit: int = 0
+
+    kind: ClassVar[str] = "bit_flip"
+    description: ClassVar[str] = "flip one data bit of a read response on the bus"
+    detected_by: ClassVar[str] = "mac"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, bit=rng.randrange(512))
+
+    def script(self, next_value):
+        return self._write_and_read(next_value)
+
+    def install(self, adversary, index):
+        def tamper(command: ReadCommand, response: ReadResponse, adv) -> ReadResponse:
+            from dataclasses import replace
+
+            return replace(response, ciphertext=_flip_bit(response.ciphertext, self.bit))
+
+        adversary.on_read_response(self.address, 0, index, tamper)
+
+
+@dataclass(frozen=True)
+class BitFlipWriteAction(TamperAction):
+    """Flip a ciphertext bit of a write burst in flight."""
+
+    bit: int = 0
+
+    kind: ClassVar[str] = "write_tamper"
+    description: ClassVar[str] = "flip one data bit of a write burst on the bus"
+    detected_by: ClassVar[str] = "mac"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, bit=rng.randrange(512))
+
+    def script(self, next_value):
+        return self._write_and_read(next_value)
+
+    def install(self, adversary, index):
+        def tamper(transaction: WriteTransaction, adv) -> WriteTransaction:
+            return transaction.with_payload(
+                _flip_bit(transaction.ciphertext, self.bit), transaction.ecc_payload
+            )
+
+        adversary.on_write(self.address, 0, index, tamper)
+
+
+@dataclass(frozen=True)
+class DropWriteAction(TamperAction):
+    """Suppress the victim's update so the stale pair stays in memory."""
+
+    kind: ClassVar[str] = "drop_write"
+    description: ClassVar[str] = "drop an update write so the stale pair stays in memory"
+    detected_by: ClassVar[str] = "rap"
+
+    def script(self, next_value):
+        return self._update_and_read(next_value)
+
+    def install(self, adversary, index):
+        adversary.on_write(self.address, 1, index, lambda transaction, adv: None)
+
+
+@dataclass(frozen=True)
+class DropReadAction(TamperAction):
+    """Swallow a read command on the bus (observable as a bus timeout)."""
+
+    kind: ClassVar[str] = "drop_read"
+    description: ClassVar[str] = "swallow a read command (denial observed as a bus timeout)"
+    detected_by: ClassVar[str] = "mac"
+
+    def script(self, next_value):
+        return self._write_and_read(next_value)
+
+    def install(self, adversary, index):
+        adversary.on_read_command(self.address, 0, index, lambda command, adv: None)
+
+
+@dataclass(frozen=True)
+class RedirectWriteAction(TamperAction):
+    """Corrupt an update write's row address so it lands elsewhere (Figure 3)."""
+
+    row_offset: int = 1
+
+    kind: ClassVar[str] = "redirect_write"
+    description: ClassVar[str] = "misdirect an update write's row so stale data stays put"
+    detected_by: ClassVar[str] = "ewcrc"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, row_offset=rng.randrange(1, 5))
+
+    def script(self, next_value):
+        return self._update_and_read(next_value)
+
+    def install(self, adversary, index):
+        def redirect(transaction: WriteTransaction, adv) -> WriteTransaction:
+            corrupted = (transaction.command.row + self.row_offset) % adv.mapping.rows
+            return transaction.with_command(transaction.command.redirected(row=corrupted))
+
+        adversary.on_write(self.address, 1, index, redirect)
+
+
+@dataclass(frozen=True)
+class ReorderWritesAction(TamperAction):
+    """Cross-steer two adjacent writes so each lands at the other's address."""
+
+    partner: int = 0
+
+    kind: ClassVar[str] = "reorder"
+    description: ClassVar[str] = "swap the destinations of two in-flight writes"
+    detected_by: ClassVar[str] = "mac"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, partner=partner)
+
+    def addresses(self):
+        return (self.address, self.partner)
+
+    def script(self, next_value):
+        from repro.fuzz.scenario import VictimOp
+
+        return [
+            VictimOp("write", self.address, next_value()),
+            VictimOp("write", self.partner, next_value()),
+            VictimOp("read", self.address),
+            VictimOp("read", self.partner),
+        ]
+
+    def install(self, adversary, index):
+        def steer(target: int):
+            def transform(transaction: WriteTransaction, adv) -> WriteTransaction:
+                return transaction.with_command(adv.command_for(target, transaction.command))
+
+            return transform
+
+        adversary.on_write(self.address, 0, index, steer(self.partner))
+        adversary.on_write(self.partner, 0, index, steer(self.address))
+
+
+@dataclass(frozen=True)
+class RelocateReadAction(TamperAction):
+    """Redirect a read command so another address's line is served."""
+
+    partner: int = 0
+
+    kind: ClassVar[str] = "relocate"
+    description: ClassVar[str] = "redirect a read command to another address's line"
+    detected_by: ClassVar[str] = "mac"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, partner=partner)
+
+    def addresses(self):
+        return (self.address, self.partner)
+
+    def script(self, next_value):
+        from repro.fuzz.scenario import VictimOp
+
+        return [
+            VictimOp("write", self.address, next_value()),
+            VictimOp("write", self.partner, next_value()),
+            VictimOp("read", self.address),
+        ]
+
+    def install(self, adversary, index):
+        def redirect(command: ReadCommand, adv) -> ReadCommand:
+            return adv.read_command_for(self.partner)
+
+        adversary.on_read_command(self.address, 0, index, redirect)
+
+
+@dataclass(frozen=True)
+class SubstituteAction(TamperAction):
+    """Serve a response recorded from a *different* address (splicing)."""
+
+    partner: int = 0
+
+    kind: ClassVar[str] = "substitute"
+    description: ClassVar[str] = "substitute another address's recorded (data, MAC) response"
+    detected_by: ClassVar[str] = "mac"
+
+    @classmethod
+    def generate(cls, rng, address, partner):
+        return cls(address=address, partner=partner)
+
+    def addresses(self):
+        return (self.address, self.partner)
+
+    def script(self, next_value):
+        from repro.fuzz.scenario import VictimOp
+
+        return [
+            VictimOp("write", self.partner, next_value()),
+            VictimOp("read", self.partner),
+            VictimOp("write", self.address, next_value()),
+            VictimOp("read", self.address),
+        ]
+
+    def install(self, adversary, index):
+        def substitute(command: ReadCommand, response: ReadResponse, adv) -> ReadResponse:
+            recorded = adv.recorded_response(self.partner, 0)
+            if recorded is None:  # pragma: no cover - script guarantees a record
+                return response
+            return response.replayed_with(recorded)
+
+        adversary.on_read_response(self.address, 0, index, substitute)
+
+
+@dataclass(frozen=True)
+class DelayedReplayAction(TamperAction):
+    """Replay a recorded *write* transaction in place of a later update."""
+
+    kind: ClassVar[str] = "delay_then_replay"
+    description: ClassVar[str] = "replace an update write with a recorded older write burst"
+    detected_by: ClassVar[str] = "rap"
+
+    def script(self, next_value):
+        return self._update_and_read(next_value)
+
+    def install(self, adversary, index):
+        def replay(transaction: WriteTransaction, adv) -> WriteTransaction:
+            recorded = adv.recorded_write(self.address, 0)
+            if recorded is None:  # pragma: no cover - script guarantees a record
+                return transaction
+            return recorded
+
+        adversary.on_write(self.address, 1, index, replay)
+
+
+#: The vocabulary, keyed by ``kind`` (insertion order == documentation order).
+TAMPER_ACTIONS: Dict[str, Type[TamperAction]] = {
+    cls.kind: cls
+    for cls in (
+        ReplayAction,
+        BitFlipReadAction,
+        BitFlipWriteAction,
+        DropWriteAction,
+        DropReadAction,
+        RedirectWriteAction,
+        ReorderWritesAction,
+        RelocateReadAction,
+        SubstituteAction,
+        DelayedReplayAction,
+    )
+}
+
+
+def action_from_dict(payload: Dict[str, object]) -> TamperAction:
+    """Rebuild an action from its :meth:`TamperAction.to_dict` payload."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind not in TAMPER_ACTIONS:
+        raise ValueError("unknown tamper action kind %r" % (kind,))
+    cls = TAMPER_ACTIONS[kind]
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError("unknown field(s) %s for action %r" % (", ".join(unknown), kind))
+    return cls(**data)

@@ -1,0 +1,153 @@
+"""The compiled adversary: occurrence-triggered hooks over the bus API.
+
+:class:`TamperAdversary` is the execution form of a tamper program.  Each
+:class:`~repro.fuzz.actions.TamperAction` registers triggers keyed by
+``(address, occurrence)`` -- "the second write to 0x300000000", "the first
+read response for 0x300001000" -- and the adversary fires them from the same
+three intercept hooks every hand-written attack uses
+(:class:`~repro.attacks.adversary.BusAdversary`).  Because occurrences are
+counted per address on the live bus traffic, a tamper program composes with
+*any* background trace: the fuzzer's generated workload noise cannot shift a
+trigger off its target as long as the attack addresses stay disjoint from the
+background footprint (which the scenario generator guarantees).
+
+The per-address memoization of original (pre-tamper) traffic -- what the
+replay, substitute and delay-then-replay actions feed on -- is inherited
+from :class:`~repro.attacks.adversary.RecordingAdversary` (the recording is
+done in the overridden hooks here, before any transform runs).
+``fired_actions`` records which actions actually changed traffic -- the
+oracles use it to distinguish "the attack was detected" from "the alarm
+fired before any tampering", which would be a false-alarm oracle violation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.attacks.adversary import RecordingAdversary
+from repro.core.protocol import ReadCommand, ReadResponse, WriteTransaction
+from repro.dram.address_mapping import AddressMapping
+from repro.fuzz.actions import TamperAction
+
+__all__ = ["TamperAdversary"]
+
+WriteTransform = Callable[[WriteTransaction, "TamperAdversary"], Optional[WriteTransaction]]
+ReadCommandTransform = Callable[[ReadCommand, "TamperAdversary"], Optional[ReadCommand]]
+ReadResponseTransform = Callable[[ReadCommand, ReadResponse, "TamperAdversary"], ReadResponse]
+
+
+class TamperAdversary(RecordingAdversary):
+    """Executes a compiled tamper program on the bus hooks."""
+
+    def __init__(self, actions: Tuple[TamperAction, ...], mapping: AddressMapping) -> None:
+        super().__init__()
+        self.mapping = mapping
+        self.actions = tuple(actions)
+        #: Indices (into ``actions``) of actions that modified traffic.
+        self.fired_actions: Set[int] = set()
+        self._write_triggers: Dict[Tuple[int, int], Tuple[int, WriteTransform]] = {}
+        self._read_command_triggers: Dict[Tuple[int, int], Tuple[int, ReadCommandTransform]] = {}
+        self._response_triggers: Dict[Tuple[int, int], Tuple[int, ReadResponseTransform]] = {}
+        self._write_counts: Dict[int, int] = {}
+        self._read_command_counts: Dict[int, int] = {}
+        self._response_counts: Dict[int, int] = {}
+        for index, action in enumerate(self.actions):
+            action.install(self, index)
+
+    # ------------------------------------------------------------------
+    # Trigger registration (called by TamperAction.install)
+    # ------------------------------------------------------------------
+    def on_write(self, address: int, occurrence: int, index: int, transform: WriteTransform) -> None:
+        self._write_triggers[(address, occurrence)] = (index, transform)
+
+    def on_read_command(
+        self, address: int, occurrence: int, index: int, transform: ReadCommandTransform
+    ) -> None:
+        self._read_command_triggers[(address, occurrence)] = (index, transform)
+
+    def on_read_response(
+        self, address: int, occurrence: int, index: int, transform: ReadResponseTransform
+    ) -> None:
+        self._response_triggers[(address, occurrence)] = (index, transform)
+
+    # ------------------------------------------------------------------
+    # Helpers available to transforms
+    # ------------------------------------------------------------------
+    @property
+    def fired(self) -> bool:
+        """Whether any action has modified bus traffic yet."""
+        return bool(self.fired_actions)
+
+    def command_for(self, address: int, original) -> object:
+        """``original``'s command steered to ``address``'s DRAM coordinates."""
+        from dataclasses import replace
+
+        decoded = self.mapping.decode(address)
+        return replace(
+            original,
+            address=address,
+            rank=decoded.rank,
+            bank_group=decoded.bank_group,
+            bank=decoded.bank,
+            row=decoded.row,
+            column=decoded.column,
+        )
+
+    def read_command_for(self, address: int) -> ReadCommand:
+        """A fresh read command addressing ``address``."""
+        decoded = self.mapping.decode(address)
+        return ReadCommand(
+            address=address,
+            rank=decoded.rank,
+            bank_group=decoded.bank_group,
+            bank=decoded.bank,
+            row=decoded.row,
+            column=decoded.column,
+        )
+
+    # ------------------------------------------------------------------
+    # Bus hooks
+    # ------------------------------------------------------------------
+    def intercept_write(self, transaction: WriteTransaction) -> Optional[WriteTransaction]:
+        address = transaction.command.address
+        occurrence = self._write_counts.get(address, 0)
+        self._write_counts[address] = occurrence + 1
+        self.writes_seen.append(transaction)
+        self.write_history.setdefault(address, []).append(transaction)
+        trigger = self._write_triggers.get((address, occurrence))
+        if trigger is not None:
+            index, transform = trigger
+            tampered = transform(transaction, self)
+            if tampered is not transaction:
+                self.fired_actions.add(index)
+            return tampered
+        return transaction
+
+    def intercept_read_command(self, command: ReadCommand) -> Optional[ReadCommand]:
+        address = command.address
+        occurrence = self._read_command_counts.get(address, 0)
+        self._read_command_counts[address] = occurrence + 1
+        self.read_commands_seen.append(command)
+        trigger = self._read_command_triggers.get((address, occurrence))
+        if trigger is not None:
+            index, transform = trigger
+            tampered = transform(command, self)
+            if tampered is not command:
+                self.fired_actions.add(index)
+            return tampered
+        return command
+
+    def intercept_read_response(self, command: ReadCommand, response: ReadResponse) -> ReadResponse:
+        address = command.address
+        occurrence = self._response_counts.get(address, 0)
+        self._response_counts[address] = occurrence + 1
+        self.read_responses_seen.append(response)
+        self.response_history.setdefault(address, []).append(response)
+        trigger = self._response_triggers.get((address, occurrence))
+        if trigger is not None:
+            index, transform = trigger
+            tampered = transform(command, response, self)
+            if tampered is not response:
+                self.fired_actions.add(index)
+            return tampered
+        return response

@@ -1,0 +1,236 @@
+"""Corpus and report writers for fuzz campaigns.
+
+The on-disk layout under ``repro fuzz --corpus DIR`` is::
+
+    DIR/
+      REPORT.md           # detection matrix, benign summary, violations,
+                          # minimized reproducers (deterministic content)
+      corpus.jsonl        # one line per scenario: full scenario + outcomes
+      repros.jsonl        # minimized oracle-violation reproducers
+      fuzz_matrix.csv     # the detection matrix, figures artifact schema
+      fuzz_matrix.json    # same data, versioned JSON payload
+
+The matrix artifact reuses :class:`~repro.figures.spec.FigureArtifact` and
+the :mod:`repro.figures.report` writers, so the CSV/JSON schema (and its
+``ARTIFACT_SCHEMA_VERSION``) is exactly the one every other reproduced
+artifact uses; corpus lines carry their own :data:`FUZZ_CORPUS_SCHEMA_VERSION`.
+Every file is a pure function of the campaign report -- re-running the same
+seeded campaign rewrites byte-identical artifacts, which is what the CI
+determinism check asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.figures.report import write_figure_csv, write_figure_json
+from repro.figures.spec import FigureArtifact
+from repro.fuzz.actions import TAMPER_ACTIONS
+from repro.fuzz.engine import FuzzReport
+from repro.fuzz.scenario import FuzzScenario
+
+__all__ = [
+    "FUZZ_CORPUS_SCHEMA_VERSION",
+    "detection_matrix_artifact",
+    "render_fuzz_report_markdown",
+    "write_fuzz_artifacts",
+    "read_corpus",
+]
+
+#: Bump when the corpus line layout changes.
+FUZZ_CORPUS_SCHEMA_VERSION = 1
+
+
+def detection_matrix_artifact(report: FuzzReport) -> FigureArtifact:
+    """The campaign's detection matrix as a standard figure artifact.
+
+    One row per tamper-action class; per configuration a
+    ``detected/missed/neutralized`` cell counting each scenario only toward
+    the classes it actually exercised (see
+    :meth:`~repro.fuzz.engine.FuzzReport.detection_matrix`).  Summary
+    metrics carry the campaign totals the CI checks key on.
+    """
+    matrix = report.detection_matrix()
+    benign = report.benign_summary()
+    columns = ["action"] + list(report.configurations)
+    rows: List[Dict[str, object]] = []
+    for kind in TAMPER_ACTIONS:
+        row: Dict[str, object] = {"action": kind}
+        for name in report.configurations:
+            bucket = matrix[name][kind]
+            row[name] = "%d/%d/%d" % (
+                bucket["detected"], bucket["missed"], bucket["neutralized"],
+            )
+        rows.append(row)
+    benign_row: Dict[str, object] = {"action": "benign (ok/false alarm)"}
+    for name in report.configurations:
+        benign_row[name] = "%d/%d" % (benign[name]["ok"], benign[name]["false_alarm"])
+    rows.append(benign_row)
+
+    summary = {
+        "seed": float(report.seed),
+        "scenarios": float(report.budget),
+        "configurations": float(len(report.configurations)),
+        "oracle_violations": float(len(report.violations())),
+    }
+    for name in report.configurations:
+        summary["missed_classes[%s]" % name] = float(len(report.missed_kinds(name)))
+    return FigureArtifact(
+        key="fuzz_matrix",
+        title="Fuzz campaign detection matrix",
+        paper_ref="Section II-A threat model / Section III analysis",
+        columns=columns,
+        rows=rows,
+        summary=summary,
+    )
+
+
+def _corpus_lines(report: FuzzReport) -> List[str]:
+    lines = []
+    for index, scenario in enumerate(report.scenarios):
+        outcomes = {}
+        for name in report.configurations:
+            # Engine results are in scenario order per configuration.
+            result = report.results[name][index]
+            outcomes[name] = {
+                "outcome": result.outcome,
+                "violation": result.violation,
+                "missed_kind": result.missed_kind,
+                "detection_point": result.detection_point,
+            }
+        lines.append(
+            json.dumps(
+                {
+                    "schema": FUZZ_CORPUS_SCHEMA_VERSION,
+                    "scenario": scenario.to_dict(),
+                    "outcomes": outcomes,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def _repro_lines(report: FuzzReport) -> List[str]:
+    lines = []
+    for shrunk in report.shrunk:
+        lines.append(
+            json.dumps(
+                {
+                    "schema": FUZZ_CORPUS_SCHEMA_VERSION,
+                    "configuration": shrunk.configuration,
+                    "outcome": shrunk.outcome,
+                    "original_id": shrunk.original.scenario_id,
+                    "minimized": shrunk.minimized.to_dict(),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def render_fuzz_report_markdown(report: FuzzReport) -> str:
+    """The combined ``REPORT.md`` for one campaign (deterministic content)."""
+    violations = report.violations()
+    lines = [
+        "# SecDDR fuzz campaign report",
+        "",
+        "Property-based adversarial fuzzing of the functional SecDDR model",
+        "(paper Section II-A threat model), generated by `repro fuzz`.",
+        "",
+        "## Campaign",
+        "",
+        "| setting | value |",
+        "|---|---|",
+        "| seed | %d |" % report.seed,
+        "| scenarios | %d |" % report.budget,
+        "| configurations | %s |" % ", ".join("`%s`" % c for c in report.configurations),
+        "| oracle violations | %d |" % len(violations),
+        "",
+        "## Detection matrix",
+        "",
+        "Cells read `detected/missed/neutralized`, counting each scenario",
+        "only toward the action classes it actually exercised.",
+        "",
+    ]
+    artifact = detection_matrix_artifact(report)
+    lines.append("| " + " | ".join(artifact.columns) + " |")
+    lines.append("|" + "---|" * len(artifact.columns))
+    for row in artifact.rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(column, "")) for column in artifact.columns) + " |"
+        )
+    lines += ["", "## Missed attack classes", ""]
+    for name in report.configurations:
+        missed = report.missed_kinds(name)
+        lines.append(
+            "- `%s`: %s" % (name, ", ".join("`%s`" % k for k in missed) if missed else "none")
+        )
+    lines += ["", "## Oracle violations", ""]
+    if violations:
+        for result in violations:
+            lines.append("- %s" % result.describe())
+    else:
+        lines.append("None: every configuration upheld its claimed properties.")
+    if report.shrunk:
+        lines += ["", "## Minimized reproducers", ""]
+        for shrunk in report.shrunk:
+            lines.append("- %s" % shrunk.describe())
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_fuzz_artifacts(report: FuzzReport, out_dir: Union[str, Path]) -> List[Path]:
+    """Write the corpus, matrix artifacts and ``REPORT.md``; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+
+    corpus_path = out / "corpus.jsonl"
+    corpus_path.write_text("\n".join(_corpus_lines(report)) + "\n")
+    paths.append(corpus_path)
+
+    repro_lines = _repro_lines(report)
+    repro_path = out / "repros.jsonl"
+    if repro_lines:
+        repro_path.write_text("\n".join(repro_lines) + "\n")
+        paths.append(repro_path)
+    elif repro_path.exists():
+        # A clean campaign must not leave a previous run's reproducers
+        # beside a report that says there are none.
+        repro_path.unlink()
+
+    artifact = detection_matrix_artifact(report)
+    paths.append(write_figure_csv(artifact, out / "fuzz_matrix.csv"))
+    paths.append(write_figure_json(artifact, out / "fuzz_matrix.json"))
+
+    report_path = out / "REPORT.md"
+    report_path.write_text(render_fuzz_report_markdown(report))
+    paths.append(report_path)
+    return paths
+
+
+def read_corpus(path: Union[str, Path]) -> List[Tuple[FuzzScenario, Dict[str, Dict]]]:
+    """Load a ``corpus.jsonl`` back as ``(scenario, outcomes)`` pairs.
+
+    Scenarios round-trip completely, so a corpus line can be re-executed
+    (:func:`repro.fuzz.oracles.run_scenario`) or shrunk standalone.
+    """
+    entries: List[Tuple[FuzzScenario, Dict[str, Dict]]] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if payload.get("schema") != FUZZ_CORPUS_SCHEMA_VERSION:
+            raise ValueError(
+                "corpus line has schema %r; this reader understands %d"
+                % (payload.get("schema"), FUZZ_CORPUS_SCHEMA_VERSION)
+            )
+        entries.append(
+            (FuzzScenario.from_dict(payload["scenario"]), payload.get("outcomes", {}))
+        )
+    return entries

@@ -1,0 +1,269 @@
+"""Scenario model and the seeded generator.
+
+A :class:`FuzzScenario` is one fully-determined adversarial experiment: a
+victim operation schedule (reads/writes with deterministic payloads) plus a
+tamper program (a tuple of :class:`~repro.fuzz.actions.TamperAction`).  The
+schedule composes two ingredients:
+
+* **background traffic** generated from a real
+  :class:`~repro.workloads.registry.WorkloadRegistry` workload (so counter
+  pressure, rank interleaving and access patterns come from the same trace
+  generators the performance figures use), folded into a bounded low region
+  and rewritten write-before-read (the functional model treats a read of a
+  never-written line as tampering, which it is -- zero MACs never verify);
+* **action scripts** spliced in at random positions.  Each action's targets
+  come from a dedicated high address region disjoint from the background
+  fold, so occurrence-triggered hooks always hit their intended transaction
+  no matter what the background does around them.
+
+Everything is derived from ``(campaign seed, scenario index)`` through
+:class:`random.Random`, so a scenario -- and therefore an entire campaign --
+is reproducible from two integers, cacheable by content, and shrinkable by
+re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fuzz.actions import TAMPER_ACTIONS, TamperAction, action_from_dict
+from repro.workloads.registry import REGISTRY as WORKLOAD_REGISTRY
+
+__all__ = [
+    "BACKGROUND_SOURCE",
+    "VictimOp",
+    "FuzzScenario",
+    "ScenarioGenerator",
+    "value_bytes",
+]
+
+LINE_BYTES = 64
+#: Background trace addresses are folded into [0, this) -- 1 GiB.
+BACKGROUND_FOLD_BYTES = 1 << 30
+#: Action target addresses are allocated from here up -- 12 GiB, far above
+#: the background fold and still inside the 16 GiB functional capacity.
+ATTACK_REGION_BASE = 3 << 32
+#: Byte spacing between per-action target slots (each slot also hosts the
+#: action's partner address at +64, which stays on the same rank).
+ATTACK_SLOT_BYTES = 0x1000
+
+#: ``VictimOp.source`` value marking background (non-action) operations.
+BACKGROUND_SOURCE = -1
+
+
+def value_bytes(seed: int, value_id: int) -> bytes:
+    """The deterministic 64-byte payload for write ``value_id`` of a scenario.
+
+    Values are derived, not stored: the corpus and the cache only need the
+    scenario seed and the per-write id to reproduce every byte.
+    """
+    head = hashlib.sha256(b"repro.fuzz.value:%d:%d" % (seed, value_id)).digest()
+    return head + hashlib.sha256(head).digest()
+
+
+@dataclass(frozen=True)
+class VictimOp:
+    """One victim memory operation in a scenario schedule."""
+
+    op: str  # "write" or "read"
+    address: int
+    value_id: int = 0  # selects the write payload via :func:`value_bytes`
+    source: int = BACKGROUND_SOURCE  # action index, or BACKGROUND_SOURCE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "address": self.address,
+            "value_id": self.value_id,
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One deterministic adversarial experiment."""
+
+    scenario_id: str
+    seed: int
+    workload: str
+    ops: Tuple[VictimOp, ...]
+    actions: Tuple[TamperAction, ...]
+
+    @property
+    def benign(self) -> bool:
+        return not self.actions
+
+    @property
+    def action_kinds(self) -> Tuple[str, ...]:
+        return tuple(action.kind for action in self.actions)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-able description (corpus lines and cache keys use this)."""
+        return {
+            "scenario_id": self.scenario_id,
+            "seed": self.seed,
+            "workload": self.workload,
+            "ops": [op.to_dict() for op in self.ops],
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FuzzScenario":
+        return cls(
+            scenario_id=str(payload["scenario_id"]),
+            seed=int(payload["seed"]),
+            workload=str(payload["workload"]),
+            ops=tuple(VictimOp(**op) for op in payload["ops"]),
+            actions=tuple(action_from_dict(action) for action in payload["actions"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Shrinking transformations (new scenarios, never in-place mutation)
+    # ------------------------------------------------------------------
+    def without_action(self, index: int) -> "FuzzScenario":
+        """Drop action ``index`` and its scripted operations."""
+        actions = tuple(a for k, a in enumerate(self.actions) if k != index)
+        ops: List[VictimOp] = []
+        for op in self.ops:
+            if op.source == index:
+                continue
+            source = op.source - 1 if op.source > index else op.source
+            ops.append(VictimOp(op.op, op.address, op.value_id, source))
+        return FuzzScenario(self.scenario_id, self.seed, self.workload, tuple(ops), actions)
+
+    def without_background(self, positions: Sequence[int]) -> "FuzzScenario":
+        """Drop the background operations at the given schedule positions."""
+        drop = set(positions)
+        ops = tuple(
+            op
+            for position, op in enumerate(self.ops)
+            if not (op.source == BACKGROUND_SOURCE and position in drop)
+        )
+        return FuzzScenario(self.scenario_id, self.seed, self.workload, ops, self.actions)
+
+    def background_positions(self) -> List[int]:
+        """Schedule positions of the background operations."""
+        return [
+            position
+            for position, op in enumerate(self.ops)
+            if op.source == BACKGROUND_SOURCE
+        ]
+
+    def well_formed(self) -> bool:
+        """Whether every read has a dominating write earlier in the schedule.
+
+        The functional model (rightly) raises on a read of a never-written
+        line, so a schedule violating this invariant manufactures alarms
+        that have nothing to do with the adversary.  The generator
+        guarantees it by construction; shrinking uses this check to reject
+        candidate removals that would orphan a read.
+        """
+        written = set()
+        for op in self.ops:
+            if op.op == "write":
+                written.add(op.address)
+            elif op.address not in written:
+                return False
+        return True
+
+
+def _scenario_seed(campaign_seed: int, index: int) -> int:
+    """A stable 63-bit per-scenario seed derived from campaign seed + index."""
+    digest = hashlib.sha256(b"repro.fuzz.scenario:%d:%d" % (campaign_seed, index)).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+class ScenarioGenerator:
+    """Seeded generator composing background traces with tamper programs."""
+
+    def __init__(
+        self,
+        seed: int,
+        workloads: Optional[Sequence[str]] = None,
+        background_ops: Tuple[int, int] = (12, 40),
+        benign_fraction: float = 0.2,
+        max_actions: int = 3,
+    ) -> None:
+        if background_ops[0] < 1 or background_ops[1] < background_ops[0]:
+            raise ValueError("background_ops must be a (low, high) pair with 1 <= low <= high")
+        if not 0.0 <= benign_fraction <= 1.0:
+            raise ValueError("benign_fraction must be in [0, 1]")
+        if max_actions < 1:
+            raise ValueError("max_actions must be >= 1")
+        if workloads is not None and not list(workloads):
+            raise ValueError("workloads must be None (all registered) or non-empty")
+        self.seed = seed
+        # Sorted for determinism regardless of registration order.
+        self.workloads = (
+            sorted(workloads) if workloads is not None else sorted(WORKLOAD_REGISTRY.names())
+        )
+        self.background_ops = background_ops
+        self.benign_fraction = benign_fraction
+        self.max_actions = max_actions
+
+    # ------------------------------------------------------------------
+    def generate(self, index: int) -> FuzzScenario:
+        """Scenario ``index`` of this generator's deterministic stream."""
+        seed = _scenario_seed(self.seed, index)
+        rng = random.Random(seed)
+
+        workload = rng.choice(self.workloads)
+        count = rng.randint(*self.background_ops)
+        value_counter = [0]
+
+        def next_value() -> int:
+            value_counter[0] += 1
+            return value_counter[0]
+
+        ops = self._background_ops(workload, count, seed, next_value)
+
+        actions: List[TamperAction] = []
+        if rng.random() >= self.benign_fraction:
+            kinds = sorted(TAMPER_ACTIONS)
+            for slot in range(rng.randint(1, self.max_actions)):
+                base = ATTACK_REGION_BASE + slot * ATTACK_SLOT_BYTES
+                action = TAMPER_ACTIONS[rng.choice(kinds)].generate(
+                    rng, base, base + LINE_BYTES
+                )
+                script = [
+                    VictimOp(op.op, op.address, op.value_id, source=len(actions))
+                    for op in action.script(next_value)
+                ]
+                splice_at = rng.randint(0, len(ops))
+                ops[splice_at:splice_at] = script
+                actions.append(action)
+
+        return FuzzScenario(
+            scenario_id="s%06d" % index,
+            seed=seed,
+            workload=workload,
+            ops=tuple(ops),
+            actions=tuple(actions),
+        )
+
+    def generate_many(self, budget: int) -> List[FuzzScenario]:
+        return [self.generate(index) for index in range(budget)]
+
+    # ------------------------------------------------------------------
+    def _background_ops(self, workload, count, seed, next_value) -> List[VictimOp]:
+        """Fold a registry trace into write-before-read background ops."""
+        trace = WORKLOAD_REGISTRY.build(
+            workload, num_accesses=count, seed=(seed % (2**31 - 1)) + 1
+        )
+        ops: List[VictimOp] = []
+        written = set()
+        for record in list(trace)[:count]:
+            address = record.address % BACKGROUND_FOLD_BYTES
+            address -= address % LINE_BYTES
+            if record.is_write or address not in written:
+                # First touches become writes: the functional model (rightly)
+                # refuses to verify a never-written line's zero MAC.
+                ops.append(VictimOp("write", address, next_value()))
+                written.add(address)
+            else:
+                ops.append(VictimOp("read", address))
+        return ops

@@ -200,7 +200,15 @@ class ResultCache:
 
     Writes are atomic (tempfile + ``os.replace``) so concurrent runners
     sharing one cache directory can only ever observe complete entries.
+
+    The payload codec is pluggable: subclasses (e.g. the fuzz campaign's
+    scenario-result cache) override ``schema_version``, :meth:`_encode` and
+    :meth:`_decode` to store a different record type through the same
+    atomic-file machinery and hit/miss accounting.
     """
+
+    #: Entries written under any other schema version are treated as misses.
+    schema_version: int = CACHE_SCHEMA_VERSION
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
@@ -210,18 +218,26 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / ("%s.json" % key)
 
+    def _decode(self, payload: Dict) -> SimulationResult:
+        """Rebuild a cached record from its JSON payload (override to retarget)."""
+        return SimulationResult(**payload)
+
+    def _encode(self, result) -> Dict:
+        """The JSON payload for one record (override to retarget)."""
+        return asdict(result)
+
     def get(self, key: str) -> Optional[SimulationResult]:
         """The cached result for ``key``, or None on a miss.
 
         Anything unreadable -- missing file, invalid JSON, another schema
         version, or a well-formed entry whose payload no longer matches
-        ``SimulationResult`` -- counts as a miss and is re-simulated.
+        the record type -- counts as a miss and is re-simulated.
         """
         try:
             data = json.loads(self._path(key).read_text())
-            if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA_VERSION:
+            if not isinstance(data, dict) or data.get("schema") != self.schema_version:
                 raise ValueError("unusable cache entry")
-            result = SimulationResult(**data["result"])
+            result = self._decode(data["result"])
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
             return None
@@ -231,7 +247,7 @@ class ResultCache:
     def put(self, key: str, result: SimulationResult) -> None:
         """Store ``result`` under ``key`` atomically."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"schema": CACHE_SCHEMA_VERSION, "result": asdict(result)}
+        payload = {"schema": self.schema_version, "result": self._encode(result)}
         final = self._path(key)
         tmp = final.with_name("%s.tmp.%d" % (final.name, os.getpid()))
         tmp.write_text(json.dumps(payload, sort_keys=True))
@@ -277,6 +293,12 @@ class ParallelRunner:
     ``jobs>1`` fans uncached work out over a ``multiprocessing`` pool while
     preserving input order in the returned list, so callers assemble results
     identically regardless of parallelism.
+
+    The runner is generic over the job type: any value exposing
+    ``cache_key()``, ``configuration_name`` and ``workload_name`` can be run
+    by supplying a matching ``executor`` (a *module-level* callable, so pools
+    can pickle it, mapping one job to ``(result, elapsed_seconds)``).  The
+    fuzz campaign engine reuses the runner this way with scenario jobs.
     """
 
     def __init__(
@@ -284,10 +306,12 @@ class ParallelRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressHook] = None,
+        executor: Callable = _execute_job,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.executor = executor
 
     # ------------------------------------------------------------------
     def _emit(self, event: JobEvent) -> None:
@@ -319,14 +343,14 @@ class ParallelRunner:
                 )
             pending_jobs = [job for _, job, _ in pending]
             if self.jobs == 1 or len(pending) == 1:
-                self._consume(pending, map(_execute_job, pending_jobs), results, total)
+                self._consume(pending, map(self.executor, pending_jobs), results, total)
             else:
                 workers = min(self.jobs, len(pending))
                 with multiprocessing.Pool(processes=workers) as pool:
                     # imap streams outcomes in job order as workers finish,
                     # so progress events and cache writes happen per job
                     # instead of all at once after the last job.
-                    self._consume(pending, pool.imap(_execute_job, pending_jobs), results, total)
+                    self._consume(pending, pool.imap(self.executor, pending_jobs), results, total)
 
         if any(result is None for result in results):
             raise RuntimeError("runner left unfilled job slots")  # pragma: no cover

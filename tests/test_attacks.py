@@ -13,6 +13,7 @@ from repro.attacks import (
     AddressCorruptionAttack,
     AttackCampaign,
     AttackOutcome,
+    BusAdversary,
     BusReplayAttack,
     DataRelocationAttack,
     DimmSubstitutionAttack,
@@ -170,6 +171,104 @@ class TestRecordingAdversary:
         memory.attach_adversary(RecordingAdversary())
         memory.write(0x4000, b"\x01" * 64)
         assert memory.read(0x4000) == b"\x01" * 64
+
+
+class TestAdversaryHookEdgeCases:
+    """The hook contract: None drops, exceptions propagate, replay is exact."""
+
+    def test_write_hook_returning_none_drops_on_every_path(self):
+        memory = _memory()
+        adversary = BusAdversary()
+        adversary.write_hook = lambda txn: None
+        memory.attach_adversary(adversary)
+        memory.write(0x4000, b"\x01" * 64)
+        memory.detach_adversary()
+        assert memory.stats.dropped_writes == 1
+        # The drop never reached the DIMM: nothing was stored there.
+        assert memory.storage.occupied_lines() == 0
+
+    def test_read_command_hook_returning_none_times_out(self):
+        memory = _memory()
+        memory.write(0x4000, b"\x01" * 64)
+        adversary = BusAdversary()
+        adversary.read_command_hook = lambda cmd: None
+        memory.attach_adversary(adversary)
+        with pytest.raises(TimeoutError):
+            memory.read(0x4000)
+        memory.detach_adversary()
+        assert memory.stats.dropped_reads == 1
+        # The drop is a denial, not a desync: the channel still works.
+        assert memory.counters_in_sync()
+        assert memory.read(0x4000) == b"\x01" * 64
+
+    def test_pass_through_hooks_leave_operation_intact(self):
+        memory = _memory()
+        adversary = BusAdversary()
+        adversary.write_hook = lambda txn: txn
+        adversary.read_command_hook = lambda cmd: cmd
+        adversary.read_response_hook = lambda cmd, resp: resp
+        memory.attach_adversary(adversary)
+        memory.write(0x4000, b"\x5a" * 64)
+        assert memory.read(0x4000) == b"\x5a" * 64
+        memory.detach_adversary()
+
+    @pytest.mark.parametrize("hook", ["write_hook", "read_command_hook", "read_response_hook"])
+    def test_hook_exceptions_propagate_uncaught(self, hook):
+        # A crashing interposer model is a bug in the attack, not a
+        # detection: the framework must surface it loudly, not classify it.
+        class HookBug(RuntimeError):
+            pass
+
+        def explode(*_args):
+            raise HookBug("buggy hook")
+
+        memory = _memory()
+        if hook == "write_hook":
+            adversary = BusAdversary()
+            adversary.write_hook = explode
+            memory.attach_adversary(adversary)
+            with pytest.raises(HookBug):
+                memory.write(0x4000, b"\x01" * 64)
+        else:
+            memory.write(0x4000, b"\x01" * 64)
+            adversary = BusAdversary()
+            setattr(adversary, hook, explode)
+            memory.attach_adversary(adversary)
+            with pytest.raises(HookBug):
+                memory.read(0x4000)
+        memory.detach_adversary()
+
+    def test_recording_adversary_replays_with_byte_fidelity(self):
+        # Against the no-RAP baseline a recorded (data, MAC) pair must be
+        # accepted verbatim when replayed -- the recording is exact.
+        memory = _memory(SecDDRConfig.baseline_no_rap())
+        adversary = RecordingAdversary()
+        memory.attach_adversary(adversary)
+        memory.write(0x4000, b"\x0f" * 64)
+        first = memory.read(0x4000)
+        memory.write(0x4000, b"\xf0" * 64)
+        recorded = adversary.recorded_response(0x4000)
+        adversary.read_response_hook = (
+            lambda cmd, resp: resp.replayed_with(recorded)
+            if cmd.address == 0x4000 else resp
+        )
+        replayed = memory.read(0x4000)
+        memory.detach_adversary()
+        assert first == b"\x0f" * 64
+        assert replayed == first  # stale value accepted byte-for-byte
+
+    def test_recorded_write_history_preserves_order_and_content(self):
+        memory = _memory()
+        adversary = RecordingAdversary()
+        memory.attach_adversary(adversary)
+        memory.write(0x4000, b"\x01" * 64)
+        memory.write(0x4000, b"\x02" * 64)
+        memory.detach_adversary()
+        first = adversary.recorded_write(0x4000, 0)
+        second = adversary.recorded_write(0x4000, 1)
+        assert first is not None and second is not None
+        assert first.ciphertext != second.ciphertext
+        assert adversary.recorded_write(0x9999) is None
 
 
 class TestCampaign:
