@@ -16,6 +16,10 @@ substrate its evaluation depends on:
 * :mod:`repro.attacks` -- replay / address-corruption / write-drop /
   DIMM-substitution attack scenarios and detection campaigns.
 * :mod:`repro.workloads` -- SPEC-2017-like and GAPBS-like synthetic traces.
+* :mod:`repro.traces` -- captured traces as first-class workloads: the
+  versioned columnar on-disk store, external-format importers/exporters,
+  bounded-memory streaming views with lazy transforms, and the multi-tenant
+  mixer (``repro trace``, see ``docs/traces.md``).
 * :mod:`repro.sim` -- the experiment runner behind the paper's figures.
 * :mod:`repro.analysis` -- power/area/security analytical models (Table II,
   Sections III-B/C and V-B).
@@ -77,7 +81,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Session",

@@ -59,12 +59,15 @@ from repro.sim.runner import (
     resolve_cache,
 )
 from repro.sim.sweep import arity_sweep, counter_packing_sweep
+from repro.traces.streaming import ChunkedTrace
 from repro.workloads.registry import REGISTRY as WORKLOAD_REGISTRY
 from repro.workloads.registry import WorkloadBuilder, WorkloadSpec
 
 __all__ = ["Session"]
 
-WorkloadLike = Union[str, MemoryTrace]
+#: A workload value a session accepts: a registry name, an in-memory trace,
+#: or a streamed on-disk view (StreamingTrace / InterleavedTrace).
+WorkloadLike = Union[str, MemoryTrace, ChunkedTrace]
 
 
 class Session:
@@ -192,10 +195,32 @@ class Session:
         cache_token: Optional[str] = None,
         replace_existing: bool = False,
     ) -> WorkloadSpec:
-        """Register a pre-built trace so it can be selected by name."""
+        """Register a pre-built trace so it can be selected by name.
+
+        Accepts in-memory :class:`~repro.cpu.trace.MemoryTrace`s and
+        streamed :class:`~repro.traces.StreamingTrace` /
+        :class:`~repro.traces.InterleavedTrace` views alike; streamed views
+        register without materializing (their content-hash cache token
+        comes from the on-disk header).
+        """
         return WORKLOAD_REGISTRY.register_trace(
             trace, name=name, cache_token=cache_token, replace_existing=replace_existing
         )
+
+    def traces(self):
+        """The trace toolkit bound to this session (``repro.traces``).
+
+        Import external traces into the on-disk store format, open stores
+        as bounded-memory streamed workloads, export traces, compose
+        multi-tenant mixes, and register any of it by name::
+
+            big = session.traces().import_("mcf.csv", "mcf.trace", format="dramsim")
+            session.traces().register(big, name="mcf_captured")
+            session.configs("secddr_ctr").workloads("mcf_captured").compare()
+        """
+        from repro.traces.session import TraceToolkit
+
+        return TraceToolkit(self)
 
     # -- execution -----------------------------------------------------
     def run(

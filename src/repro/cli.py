@@ -26,6 +26,18 @@ normalization exactly like registered configurations do.  ``--seed`` (default
 1, the documented trace seed) seeds the workload generators, so stochastic
 traces are reproducible end to end.
 
+Captured address streams are first-class workloads through the trace
+subsystem (``repro.traces``)::
+
+    python -m repro.cli trace import capture.csv mcf.trace --format dramsim
+    python -m repro.cli trace info mcf.trace
+    python -m repro.cli trace mix mix.trace mcf.trace pr.trace --quantum 256
+    python -m repro.cli compare -w mcf.trace -c secddr_ctr,integrity_tree_64
+
+``compare`` accepts on-disk trace stores wherever a workload name is
+accepted; they stream chunk-by-chunk through the simulator in bounded
+memory and cache by their content hash.
+
 The security claims have their own generative check::
 
     python -m repro.cli fuzz --seed 7 --budget 200 -j 4 --corpus fuzz-corpus
@@ -133,10 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "-w", "--workloads",
         default="mcf,pr,lbm,gcc",
-        help="comma-separated workload names",
+        help="comma-separated workload names and/or on-disk trace-store "
+        "paths (stores stream chunk-by-chunk in bounded memory)",
     )
     compare.add_argument("-b", "--baseline", default="tdx_baseline", help="normalization baseline")
-    compare.add_argument("-a", "--accesses", type=int, default=1500, help="LLC accesses per trace")
+    compare.add_argument(
+        "-a", "--accesses", type=int, default=1500,
+        help="LLC accesses per *generated* trace; trace stores always stream "
+        "their full recorded length (pre-truncate with 'repro trace' "
+        "transforms if you want less)",
+    )
     compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
     _add_seed_argument(compare)
     _add_set_argument(compare)
@@ -202,6 +220,84 @@ def build_parser() -> argparse.ArgumentParser:
         "nothing",
     )
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="import/export/inspect/mix on-disk trace stores "
+        "(streamable workloads for huge captured traces)",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_import = trace_commands.add_parser(
+        "import", help="import an external trace file into an on-disk store"
+    )
+    trace_import.add_argument("source", help="external trace file to import")
+    trace_import.add_argument("dest", help="destination store directory")
+    trace_import.add_argument(
+        "--format", default="text", choices=["text", "dramsim", "champsim"],
+        help="source format: 'text' = addr,is_write[,pc] lines; "
+        "'dramsim'/'champsim' = 'address op cycle' request streams (default: text)",
+    )
+    trace_import.add_argument("--name", default=None, help="workload name recorded in the header")
+    trace_import.add_argument(
+        "--gap", type=int, default=1,
+        help="instruction gap per record for gap-less text sources (default: 1)",
+    )
+    _add_trace_store_arguments(trace_import)
+
+    trace_export = trace_commands.add_parser(
+        "export",
+        help="export a workload or store (native store, text, or dramsim)",
+    )
+    trace_export.add_argument(
+        "source", help="a registered workload name or an existing store path"
+    )
+    trace_export.add_argument("dest", help="destination (store directory or flat file)")
+    trace_export.add_argument(
+        "--format", default="native", choices=["native", "text", "dramsim", "champsim"],
+        help="'native' writes an on-disk store; 'text'/'dramsim' write flat "
+        "files (default: native)",
+    )
+    trace_export.add_argument(
+        "-a", "--accesses", type=int, default=20000,
+        help="trace length when the source is a generated workload name",
+    )
+    _add_seed_argument(trace_export)
+    _add_trace_store_arguments(trace_export)
+
+    trace_info = trace_commands.add_parser(
+        "info", help="print a store's header, statistics, and content hash"
+    )
+    trace_info.add_argument("path", help="store directory (or its header.json)")
+    trace_info.add_argument(
+        "--verify", action="store_true",
+        help="re-stream every chunk and check the content hash",
+    )
+
+    trace_mix = trace_commands.add_parser(
+        "mix",
+        help="interleave several traces into one multi-tenant store",
+    )
+    trace_mix.add_argument("dest", help="destination store directory")
+    trace_mix.add_argument(
+        "sources", nargs="+",
+        help="two or more component traces (store paths or workload names)",
+    )
+    trace_mix.add_argument(
+        "--quantum", type=int, default=256,
+        help="records taken from each tenant per round (default: 256)",
+    )
+    trace_mix.add_argument(
+        "--stride", type=int, default=1 << 34,
+        help="address-space bytes between tenants (default: 16 GiB)",
+    )
+    trace_mix.add_argument("--name", default=None, help="workload name recorded in the header")
+    trace_mix.add_argument(
+        "-a", "--accesses", type=int, default=20000,
+        help="trace length for components that are generated workload names",
+    )
+    _add_seed_argument(trace_mix)
+    _add_trace_store_arguments(trace_mix)
+
     fuzz = subparsers.add_parser(
         "fuzz",
         help="property-based adversarial fuzzing of the security claims "
@@ -260,6 +356,22 @@ def command_summaries(
         a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
     )
     return [(choice.dest, choice.help or "") for choice in action._choices_actions]
+
+
+def _add_trace_store_arguments(subparser: argparse.ArgumentParser) -> None:
+    """Store-layout flags shared by the trace subcommands that write stores."""
+    subparser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="RECORDS",
+        help="records per on-disk chunk (default: 65536)",
+    )
+    subparser.add_argument(
+        "--raw", action="store_true",
+        help="write raw memory-mappable .npy chunks instead of compressed .npz",
+    )
+    subparser.add_argument(
+        "--overwrite", action="store_true",
+        help="replace the destination store if it already exists",
+    )
 
 
 def _add_seed_argument(subparser: argparse.ArgumentParser) -> None:
@@ -560,9 +672,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     configurations = _derived_configurations(
         _split(args.configurations), _parse_overrides(args.overrides)
     )
+    workloads = _resolve_workload_tokens(_split(args.workloads))
+    streamed = [w for w in workloads if not isinstance(w, str)]
+    if streamed:
+        # -a sizes generated traces only; saying so up front beats a user
+        # waiting on a 100M-access store they expected -a to bound.
+        print("streaming %d trace store(s) at full recorded length "
+              "(-a/--accesses applies to generated workloads only): %s"
+              % (len(streamed), ", ".join("%s (%d)" % (w.name, len(w)) for w in streamed)),
+              file=sys.stderr)
     comparison = run_comparison(
         configurations=configurations,
-        workloads=_split(args.workloads),
+        workloads=workloads,
         baseline=args.baseline,
         experiment=experiment,
         jobs=args.jobs,
@@ -694,6 +815,117 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 1 if (failed and args.strict) else 0
 
 
+def _resolve_workload_tokens(tokens: List[str]) -> List[object]:
+    """Map ``-w`` tokens to workloads: trace-store paths stream, names build.
+
+    A token naming an on-disk trace store (its directory or ``header.json``)
+    is opened as a bounded-memory streamed workload; everything else stays a
+    registry name.
+    """
+    from repro.traces import is_trace_store, load_trace
+
+    return [
+        load_trace(token) if is_trace_store(token) else token for token in tokens
+    ]
+
+
+def _trace_source(token: str, accesses: int, seed: int):
+    """A trace subcommand source: an on-disk store or a built workload name."""
+    from repro.traces import is_trace_store, load_trace
+    from repro.workloads.registry import build_workload
+
+    if is_trace_store(token):
+        return load_trace(token)
+    return build_workload(token, num_accesses=accesses, seed=seed)
+
+
+def _store_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {
+        "compression": not args.raw,
+        "overwrite": args.overwrite,
+    }
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    return kwargs
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces import (
+        export_trace,
+        import_trace,
+        interleave,
+        open_trace_store,
+        save_trace,
+    )
+    from repro.traces.importers import trace_metadata
+
+    if args.trace_command == "import":
+        options: Dict[str, object] = dict(_store_kwargs(args), name=args.name)
+        if args.format == "text":
+            options["default_gap"] = args.gap
+        store = import_trace(args.source, args.dest, format=args.format, **options)
+        print("imported %d access(es) into %s (%d chunk(s), hash %s)"
+              % (store.total_accesses, store.path, store.num_chunks,
+                 store.content_hash[:16]))
+        return 0
+
+    if args.trace_command == "export":
+        source = _trace_source(args.source, args.accesses, args.seed)
+        if args.format == "native":
+            store = save_trace(source, args.dest, **_store_kwargs(args))
+            print("wrote %d access(es) to %s (%d chunk(s), hash %s)"
+                  % (store.total_accesses, store.path, store.num_chunks,
+                     store.content_hash[:16]))
+        else:
+            path = export_trace(source, args.dest, format=args.format)
+            print("wrote %s (%s format)" % (path, args.format))
+        return 0
+
+    if args.trace_command == "info":
+        store = open_trace_store(
+            args.path if not args.path.endswith("header.json")
+            else os.path.dirname(args.path) or "."
+        )
+        for key, value in trace_metadata(store).items():
+            print("%-24s %s" % (key, value))
+        if args.verify:
+            ok = store.verify()
+            print("%-24s %s" % ("verified", "ok" if ok else "HASH MISMATCH"))
+            return 0 if ok else 1
+        return 0
+
+    if args.trace_command == "mix":
+        # Validate here so user mistakes print one-line errors, not the
+        # trace layer's ValueError tracebacks.
+        if len(args.sources) < 2:
+            print("error: trace mix needs at least two sources, got %d"
+                  % len(args.sources), file=sys.stderr)
+            return 2
+        if args.quantum < 1:
+            print("error: --quantum must be >= 1, got %d" % args.quantum, file=sys.stderr)
+            return 2
+        if args.stride < 0:
+            print("error: --stride must be non-negative, got %d" % args.stride,
+                  file=sys.stderr)
+            return 2
+        components = [
+            _trace_source(token, args.accesses, args.seed) for token in args.sources
+        ]
+        name = args.name or "mix-" + "+".join(
+            getattr(component, "name", "?") for component in components
+        )
+        mixed = interleave(components, name, quantum=args.quantum, stride=args.stride)
+        store = save_trace(mixed, args.dest, **_store_kwargs(args))
+        print("mixed %d tenant(s) into %s: %d access(es), %d chunk(s), hash %s"
+              % (len(components), store.path, store.total_accesses,
+                 store.num_chunks, store.content_hash[:16]))
+        print("register it with Session.traces().register(%r) or pass the "
+              "path to compare -w (workload name: %s)" % (str(store.path), store.name))
+        return 0
+
+    raise AssertionError("unhandled trace command %r" % args.trace_command)  # pragma: no cover
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import FuzzCampaign, write_fuzz_artifacts
 
@@ -745,9 +977,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.traces import TraceFormatError, TraceImportError
+
     try:
         return _dispatch(args)
-    except (RegistryLookupError, OverrideError, AmbiguousConfigurationError) as error:
+    except (
+        RegistryLookupError,
+        OverrideError,
+        AmbiguousConfigurationError,
+        TraceFormatError,
+        TraceImportError,
+    ) as error:
         # User-input problems only (unknown names, bad --set pairs, name
         # collisions): one line on stderr.  Other exceptions stay loud —
         # a traceback from the library is a bug, not a typo.
@@ -776,6 +1016,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sweep(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover

@@ -18,9 +18,47 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
-from repro.cpu.trace import MemoryTrace, TraceRecord
+from repro.cpu.trace import MemoryTrace
 
 __all__ = ["CoreConfig", "CoreResult", "Core"]
+
+
+class _RecordCursor:
+    """Sequential ``(gap, is_write, address)`` cursor over an indexed trace.
+
+    The core consumes its trace through a cursor (``peek``/``advance``)
+    rather than by index, so chunk-streamed traces can plug in their own
+    cursor (see :meth:`repro.traces.streaming.ChunkedTrace.open_cursor`)
+    and huge on-disk traces replay in bounded memory.  This is the default
+    cursor for plain in-memory :class:`~repro.cpu.trace.MemoryTrace`s.
+    """
+
+    __slots__ = ("_trace", "_position", "_current")
+
+    def __init__(self, trace: MemoryTrace) -> None:
+        self._trace = trace
+        self._position = 0
+        self._current: Optional[Tuple[int, bool, int]] = None
+
+    def peek(self) -> Optional[Tuple[int, bool, int]]:
+        if self._current is None:
+            if self._position >= len(self._trace):
+                return None
+            record = self._trace[self._position]
+            self._current = (record.instruction_gap, record.is_write, record.address)
+        return self._current
+
+    def advance(self) -> None:
+        self._position += 1
+        self._current = None
+
+
+def _open_cursor(trace):
+    """The record cursor for ``trace`` (its own chunked one when it has one)."""
+    opener = getattr(trace, "open_cursor", None)
+    if callable(opener):
+        return opener()
+    return _RecordCursor(trace)
 
 
 @dataclass(frozen=True)
@@ -83,7 +121,7 @@ class Core:
         self.core_id = core_id
         self.trace = trace
         self.config = config or CoreConfig()
-        self._position = 0
+        self._cursor = _open_cursor(trace)
         self._cpu_cycle: float = 0.0
         self._instructions_retired: int = 0
         # Outstanding demand reads: (completion_cpu_cycle, instruction_index).
@@ -96,7 +134,7 @@ class Core:
     @property
     def done(self) -> bool:
         """True when every trace record has been issued."""
-        return self._position >= len(self.trace)
+        return self._cursor.peek() is None
 
     @property
     def instructions_retired(self) -> int:
@@ -110,13 +148,14 @@ class Core:
         outstanding misses, but does not mutate state -- the system model
         uses it to pick which core to step next.
         """
-        if self.done:
+        record = self._cursor.peek()
+        if record is None:
             return None
-        record = self.trace[self._position]
-        issue_cycle = self._cpu_cycle + record.instruction_gap / self.config.issue_width
-        inst_index = self._instructions_retired + record.instruction_gap
+        instruction_gap, is_write, _ = record
+        issue_cycle = self._cpu_cycle + instruction_gap / self.config.issue_width
+        inst_index = self._instructions_retired + instruction_gap
         # Reads must respect the structural limits; writes are posted.
-        if not record.is_write:
+        if not is_write:
             issue_cycle = self._structural_stall(issue_cycle, inst_index, mutate=False)
         return issue_cycle
 
@@ -137,29 +176,32 @@ class Core:
             self._outstanding = outstanding
         return issue_cycle
 
-    def step(self, memory) -> TraceRecord:
+    def step(self, memory) -> Tuple[int, bool, int]:
         """Issue the next trace record to ``memory`` and update core state.
 
         ``memory`` is any object exposing the secure-memory interface
         ``read(address, dram_cycle) -> (completion_dram_cycle, extra_cpu_cycles)``
-        and ``write(address, dram_cycle) -> None``.
+        and ``write(address, dram_cycle) -> None``.  Returns the issued
+        record as its ``(instruction_gap, is_write, address)`` tuple -- the
+        cursor's native shape, so the hot loop allocates nothing per access.
         """
-        if self.done:
+        record = self._cursor.peek()
+        if record is None:
             raise RuntimeError("core %d has no more trace records" % self.core_id)
-        record = self.trace[self._position]
-        self._position += 1
+        self._cursor.advance()
+        instruction_gap, is_write, address = record
 
-        inst_index = self._instructions_retired + record.instruction_gap
-        issue_cycle = self._cpu_cycle + record.instruction_gap / self.config.issue_width
+        inst_index = self._instructions_retired + instruction_gap
+        issue_cycle = self._cpu_cycle + instruction_gap / self.config.issue_width
 
-        if record.is_write:
+        if is_write:
             # Posted writeback: consumes bandwidth, does not stall the core.
-            memory.write(record.address, self.config.cpu_to_dram(issue_cycle))
+            memory.write(address, self.config.cpu_to_dram(issue_cycle))
             self._writes += 1
         else:
             issue_cycle = self._structural_stall(issue_cycle, inst_index, mutate=True)
             issue_dram = self.config.cpu_to_dram(issue_cycle + self.config.onchip_latency_cycles)
-            completion_dram, extra_cpu = memory.read(record.address, issue_dram)
+            completion_dram, extra_cpu = memory.read(address, issue_dram)
             completion_cpu = (
                 self.config.dram_to_cpu(completion_dram)
                 + self.config.onchip_latency_cycles

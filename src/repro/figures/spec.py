@@ -24,10 +24,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.cpu.trace import MemoryTrace
 from repro.secure.configs import ConfigurationLike, resolve_configuration
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.runner import ProgressHook, ResultCache, SimulationJob
+from repro.traces.streaming import ChunkedTrace
 from repro.workloads.registry import memory_intensive_workloads, workload_names
+
+#: A workload entry in a figure's job matrix: a registry name or a pre-built
+#: trace value (in-memory or streamed -- jobs carry either verbatim).
+WorkloadLike = Union[str, MemoryTrace, ChunkedTrace]
 
 __all__ = [
     "CellValue",
@@ -36,6 +42,7 @@ __all__ = [
     "FigureSpec",
     "PaperDelta",
     "TrendResult",
+    "WorkloadLike",
     "comparison_jobs",
 ]
 
@@ -143,16 +150,18 @@ class FigureContext:
     progress: Optional[ProgressHook] = None
     #: Optional workload restriction (e.g. CI smoke runs): replaces the
     #: "all workloads" / "memory intensive" sets a spec would otherwise use.
+    #: Entries may be registry names or pre-built trace values (streamed
+    #: traces included); trace values flow into the job matrices verbatim.
     #: Specs with a *fixed* workload list (the ablations) ignore it, so
     #: their assertions keep operating on the workloads they reason about.
-    workload_filter: Optional[List[str]] = None
+    workload_filter: Optional[List[WorkloadLike]] = None
 
-    def all_workloads(self) -> List[str]:
+    def all_workloads(self) -> List[WorkloadLike]:
         if self.workload_filter:
             return list(self.workload_filter)
         return workload_names()
 
-    def memory_intensive(self) -> List[str]:
+    def memory_intensive(self) -> List[WorkloadLike]:
         if self.workload_filter:
             return list(self.workload_filter)
         return memory_intensive_workloads()
@@ -199,7 +208,7 @@ class FigureSpec:
 
 def comparison_jobs(
     configurations: Sequence[ConfigurationLike],
-    workloads: Sequence[str],
+    workloads: Sequence[WorkloadLike],
     experiment: ExperimentConfig,
     baseline: ConfigurationLike = "tdx_baseline",
 ) -> List[SimulationJob]:

@@ -25,6 +25,7 @@ re-execution.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -256,7 +257,9 @@ class ScenarioGenerator:
         )
         ops: List[VictimOp] = []
         written = set()
-        for record in list(trace)[:count]:
+        # islice keeps streamed (on-disk) background workloads bounded: only
+        # the first ``count`` records are ever decoded.
+        for record in itertools.islice(iter(trace), count):
             address = record.address % BACKGROUND_FOLD_BYTES
             address -= address % LINE_BYTES
             if record.is_write or address not in written:

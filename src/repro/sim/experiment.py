@@ -78,7 +78,10 @@ def _build_workload_cached(
 
 
 def _resolve_workload(workload: Union[str, MemoryTrace], config: ExperimentConfig) -> MemoryTrace:
-    if isinstance(workload, MemoryTrace):
+    if not isinstance(workload, str):
+        # Pre-built trace values (in-memory MemoryTraces *and* streamed
+        # ChunkedTrace views) pass through untouched; only registry names
+        # are built -- and memoized -- here.
         return workload
     return _build_workload_cached(
         workload, config.num_accesses, config.seed, workload_profile_token(workload)

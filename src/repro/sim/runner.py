@@ -394,6 +394,20 @@ class ParallelRunner:
             seen[name] = config
             config_list.append(config)
         names = list(seen)
+        # The result table is keyed by workload name too, so two *different*
+        # traces sharing one name (e.g. two imported stores whose headers
+        # both say "mcf") would silently overwrite each other's row.
+        workload_tokens: Dict[str, str] = {}
+        for workload in workloads:
+            workload_name = workload if isinstance(workload, str) else workload.name
+            token = workload_cache_token(workload)
+            previous = workload_tokens.setdefault(workload_name, token)
+            if previous != token:
+                raise AmbiguousConfigurationError(
+                    "two different workloads share the name %r; rename one "
+                    "(trace.with_name(...) or register it under a distinct "
+                    "name)" % workload_name
+                )
         job_list = [
             SimulationJob(configuration=config, workload=workload, experiment=experiment)
             for workload in workloads

@@ -1,0 +1,84 @@
+"""First-class trace subsystem: on-disk format, importers, streaming views.
+
+The generator layer (:mod:`repro.workloads`) synthesizes small in-memory
+traces; this package makes *captured* traces -- tens of millions of
+accesses and up -- first-class workloads that stream through the simulator
+in bounded memory:
+
+* :mod:`repro.traces.format` -- the versioned, compressed (or raw
+  memory-mappable) columnar on-disk store with a chunk-independent
+  streaming content hash.
+* :mod:`repro.traces.importers` -- importers for external formats (simple
+  ``addr,is_write[,pc]`` text; ChampSim/DRAMsim-style request streams) and
+  the matching exporters, all bounded-memory.
+* :mod:`repro.traces.streaming` -- :class:`StreamingTrace` (a
+  MemoryTrace-compatible view that plugs into the workload registry, the
+  simulator, and the result cache via its O(1) content-hash token), lazy
+  transforms (sample/truncate/footprint-rescale/offset), and the
+  multi-program :class:`InterleavedTrace` mixer.
+* :mod:`repro.traces.session` -- the :meth:`repro.api.Session.traces`
+  toolkit binding all of it to the fluent session surface.
+
+CLI surface: ``repro trace import|export|info|mix``; see docs/traces.md
+for the format specification and the streaming semantics.
+"""
+
+from repro.traces.format import (
+    DEFAULT_CHUNK_SIZE,
+    FORMAT_VERSION,
+    TraceFormatError,
+    TraceStore,
+    TraceWriter,
+    is_trace_store,
+    open_trace_store,
+    save_trace,
+)
+from repro.traces.importers import (
+    TraceImportError,
+    export_trace,
+    exporter_names,
+    import_trace,
+    importer_names,
+)
+from repro.traces.streaming import (
+    ChunkCursor,
+    ChunkedTrace,
+    InterleavedTrace,
+    StreamingTrace,
+    interleave,
+    load_trace,
+)
+from repro.traces.transforms import (
+    Offset,
+    RescaleFootprint,
+    Sample,
+    TraceTransform,
+    Truncate,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "FORMAT_VERSION",
+    "TraceFormatError",
+    "TraceStore",
+    "TraceWriter",
+    "is_trace_store",
+    "open_trace_store",
+    "save_trace",
+    "TraceImportError",
+    "import_trace",
+    "importer_names",
+    "export_trace",
+    "exporter_names",
+    "ChunkCursor",
+    "ChunkedTrace",
+    "InterleavedTrace",
+    "StreamingTrace",
+    "interleave",
+    "load_trace",
+    "TraceTransform",
+    "Offset",
+    "Truncate",
+    "Sample",
+    "RescaleFootprint",
+]

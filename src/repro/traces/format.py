@@ -1,0 +1,501 @@
+"""The versioned on-disk trace store: columnar numpy chunks + JSON header.
+
+A trace store is a directory::
+
+    mcf.trace/
+        header.json           format/version, counts, stats, content hash
+        chunk-000000.npz      compressed columnar chunk (or .npy when raw)
+        chunk-000001.npz
+        ...
+
+Each chunk holds three parallel columns (``gaps``: int64 instruction gaps,
+``writes``: uint8 0/1 flags, ``addrs``: int64 byte addresses) for up to
+``chunk_size`` records.  Compressed stores (`.npz`, the default) trade CPU
+for disk; raw stores (three little-endian ``.npy`` files per chunk) are
+larger but **memory-mappable** -- :class:`TraceStore` opens them with
+``np.load(mmap_mode="r")`` so reading a chunk touches only the pages the
+simulation actually streams.
+
+The header records a **streaming content hash**: SHA-256 over the canonical
+record-major serialization (17 bytes per record: gap ``<i8``, write ``<u1``,
+address ``<i8``).  Because the serialization is record-major, the hash is
+independent of chunk size and compression -- importing the same access
+stream with different ``--chunk-size`` or ``--raw`` settings yields the same
+hash, which is what lets the result cache key streamed workloads by content
+without ever materializing them.
+
+Every reader API is bounded-memory by construction: :meth:`TraceStore.chunk`
+decodes one chunk at a time into a small LRU (``max_cached_chunks``), and
+:meth:`TraceStore.iter_chunks` streams the store front to back.  The store
+tracks ``max_resident_chunks`` so tests can assert that simulating a long
+trace never holds more than the configured window in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "HEADER_FILE",
+    "DEFAULT_CHUNK_SIZE",
+    "LINE_BYTES",
+    "TraceFormatError",
+    "ChunkColumns",
+    "TraceWriter",
+    "TraceStore",
+    "open_trace_store",
+    "save_trace",
+    "is_trace_store",
+]
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+HEADER_FILE = "header.json"
+DEFAULT_CHUNK_SIZE = 1 << 16  # 65536 records, ~1.1 MB decoded
+LINE_BYTES = 64
+
+#: Canonical record-major serialization the content hash runs over.
+RECORD_DTYPE = np.dtype([("gap", "<i8"), ("write", "<u1"), ("addr", "<i8")])
+
+#: Exact-footprint accounting stops above this many distinct lines (256 MiB
+#: of footprint); beyond it the header reports a lower bound and marks
+#: ``footprint_exact: false``, keeping import memory bounded.
+FOOTPRINT_EXACT_LIMIT = 1 << 22
+
+#: One decoded chunk: (gaps int64, writes uint8, addrs int64), equal length.
+ChunkColumns = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class TraceFormatError(ValueError):
+    """A malformed, unreadable, or version-incompatible trace store."""
+
+
+def _chunk_stem(index: int) -> str:
+    return "chunk-%06d" % index
+
+
+def canonical_record_bytes(gaps: np.ndarray, writes: np.ndarray, addrs: np.ndarray) -> bytes:
+    """The record-major bytes the content hash consumes for one chunk."""
+    packed = np.empty(len(gaps), dtype=RECORD_DTYPE)
+    packed["gap"] = gaps
+    packed["write"] = writes
+    packed["addr"] = addrs
+    return packed.tobytes()
+
+
+def canonicalize_columns(gaps, writes, addrs) -> ChunkColumns:
+    """Coerce three array-likes into the canonical column dtypes, validated."""
+    try:
+        gaps = np.ascontiguousarray(gaps, dtype=np.int64)
+        addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+    except OverflowError:
+        raise TraceFormatError(
+            "gap or address value does not fit in a signed 64-bit column; "
+            "mask addresses below 2^63 before saving"
+        ) from None
+    writes = np.ascontiguousarray(writes)
+    if writes.dtype != np.uint8:
+        writes = writes.astype(bool).astype(np.uint8)
+    if not (len(gaps) == len(writes) == len(addrs)):
+        raise TraceFormatError(
+            "column lengths differ: %d gaps, %d writes, %d addrs"
+            % (len(gaps), len(writes), len(addrs))
+        )
+    if len(gaps) and int(gaps.min()) < 0:
+        raise TraceFormatError("instruction gaps must be non-negative")
+    if len(addrs) and int(addrs.min()) < 0:
+        raise TraceFormatError("addresses must be non-negative")
+    return gaps, writes, addrs
+
+
+class StreamStats:
+    """Incremental per-record statistics shared by the writer and the views.
+
+    Footprint is exact up to :data:`FOOTPRINT_EXACT_LIMIT` distinct lines;
+    past that it becomes a lower bound (``exact`` flips to False) so that
+    accounting never grows with trace length beyond a fixed ceiling.
+    """
+
+    def __init__(self) -> None:
+        self.total_accesses = 0
+        self.total_instructions = 0
+        self.write_count = 0
+        self._lines = np.empty(0, dtype=np.int64)
+        # Per-chunk uniques buffered between merges: merging only when the
+        # pending volume rivals the merged array keeps the total sort work
+        # amortized O(n log n) instead of one O(footprint log) re-merge per
+        # chunk, which dominates imports of 10^8-access captures.
+        self._pending: list = []
+        self._pending_size = 0
+        self.footprint_exact = True
+
+    def update(self, gaps: np.ndarray, writes: np.ndarray, addrs: np.ndarray) -> None:
+        self.total_accesses += len(gaps)
+        self.total_instructions += int(gaps.sum()) if len(gaps) else 0
+        self.write_count += int(writes.sum()) if len(writes) else 0
+        if self.footprint_exact and len(addrs):
+            unique = np.unique(addrs // LINE_BYTES)
+            self._pending.append(unique)
+            self._pending_size += len(unique)
+            if self._pending_size >= max(len(self._lines), 1 << 20):
+                self._merge_pending()
+
+    def _merge_pending(self) -> None:
+        if self._pending:
+            self._lines = np.unique(np.concatenate([self._lines] + self._pending))
+            self._pending = []
+            self._pending_size = 0
+        if len(self._lines) > FOOTPRINT_EXACT_LIMIT:
+            self._lines = self._lines[:FOOTPRINT_EXACT_LIMIT]
+            self.footprint_exact = False
+
+    @property
+    def read_count(self) -> int:
+        return self.total_accesses - self.write_count
+
+    @property
+    def footprint_bytes(self) -> int:
+        self._merge_pending()
+        return LINE_BYTES * len(self._lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_instructions": self.total_instructions,
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+            "footprint_bytes": self.footprint_bytes,
+            "footprint_exact": self.footprint_exact,
+        }
+
+
+class TraceWriter:
+    """Streaming writer: append records/columns, get a finished store.
+
+    Usable as a context manager; :meth:`close` writes the header (with the
+    final content hash and stats) and returns its dictionary.  Appends are
+    buffered to ``chunk_size`` records, so callers can push arbitrarily
+    sized batches -- importers feed parsed line batches, exporters feed
+    whole transformed chunks -- while the on-disk chunking stays uniform.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: str,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        compression: bool = True,
+        metadata: Optional[Dict[str, object]] = None,
+        overwrite: bool = False,
+    ) -> None:
+        if chunk_size < 1:
+            raise TraceFormatError("chunk_size must be >= 1, got %d" % chunk_size)
+        self.path = Path(path)
+        if (self.path / HEADER_FILE).exists():
+            if not overwrite:
+                raise TraceFormatError(
+                    "%s already holds a trace store; pass overwrite=True to replace it"
+                    % self.path
+                )
+            # Remove the old store eagerly: a mid-write failure must leave a
+            # directory that *fails to open* (no header), never an old
+            # header indexing a mix of old and new chunk files -- and a
+            # shorter rewrite must not leave orphaned chunks behind.
+            (self.path / HEADER_FILE).unlink()
+            for stale in self.path.glob("chunk-*"):
+                stale.unlink()
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.chunk_size = int(chunk_size)
+        self.compression = bool(compression)
+        self.metadata = dict(metadata or {})
+        self._hash = hashlib.sha256()
+        self._stats = StreamStats()
+        self._pending: ChunkColumns = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=np.int64),
+        )
+        self._chunk_index = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def append_columns(self, gaps, writes, addrs) -> None:
+        """Append one batch of parallel columns (any length)."""
+        if self._closed:
+            raise TraceFormatError("writer is closed")
+        gaps, writes, addrs = canonicalize_columns(gaps, writes, addrs)
+        pg, pw, pa = self._pending
+        self._pending = (
+            np.concatenate([pg, gaps]),
+            np.concatenate([pw, writes]),
+            np.concatenate([pa, addrs]),
+        )
+        while len(self._pending[0]) >= self.chunk_size:
+            g, w, a = self._pending
+            self._write_chunk(g[: self.chunk_size], w[: self.chunk_size], a[: self.chunk_size])
+            self._pending = (
+                g[self.chunk_size :], w[self.chunk_size :], a[self.chunk_size :]
+            )
+
+    def append_records(self, records: Iterable) -> None:
+        """Append an iterable of :class:`~repro.cpu.trace.TraceRecord`-likes.
+
+        Conversion (and range validation) happens in
+        :func:`canonicalize_columns`, so out-of-range values surface as
+        :class:`TraceFormatError`, never a numpy ``OverflowError``.
+        """
+        gaps, writes, addrs = [], [], []
+        for record in records:
+            gaps.append(record.instruction_gap)
+            writes.append(1 if record.is_write else 0)
+            addrs.append(record.address)
+            if len(gaps) >= self.chunk_size:
+                self.append_columns(gaps, writes, addrs)
+                gaps, writes, addrs = [], [], []
+        if gaps:
+            self.append_columns(gaps, writes, addrs)
+
+    def _write_chunk(self, gaps: np.ndarray, writes: np.ndarray, addrs: np.ndarray) -> None:
+        self._hash.update(canonical_record_bytes(gaps, writes, addrs))
+        self._stats.update(gaps, writes, addrs)
+        stem = self.path / _chunk_stem(self._chunk_index)
+        if self.compression:
+            with open(str(stem) + ".npz", "wb") as handle:
+                np.savez_compressed(handle, gaps=gaps, writes=writes, addrs=addrs)
+        else:
+            np.save(str(stem) + ".gaps.npy", gaps)
+            np.save(str(stem) + ".writes.npy", writes)
+            np.save(str(stem) + ".addrs.npy", addrs)
+        self._chunk_index += 1
+
+    # ------------------------------------------------------------------
+    def close(self) -> Dict[str, object]:
+        """Flush the partial chunk and write the header; returns the header."""
+        if self._closed:
+            raise TraceFormatError("writer is already closed")
+        if len(self._pending[0]):
+            g, w, a = self._pending
+            self._write_chunk(g, w, a)
+            self._pending = (g[:0], w[:0], a[:0])
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "chunk_size": self.chunk_size,
+            "num_chunks": self._chunk_index,
+            "total_accesses": self._stats.total_accesses,
+            "compression": "npz" if self.compression else "raw",
+            "content_hash": self._hash.hexdigest(),
+            "stats": self._stats.to_dict(),
+            "metadata": self.metadata,
+        }
+        (self.path / HEADER_FILE).write_text(json.dumps(header, indent=2, sort_keys=True))
+        self._closed = True
+        return header
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.close()
+
+
+class TraceStore:
+    """Read side of the on-disk format: header access + chunk streaming.
+
+    Chunks decode lazily into a small LRU (``max_cached_chunks``); raw
+    stores additionally memory-map their columns, so even a cached chunk
+    only occupies the pages that were actually read.  ``max_resident_chunks``
+    records the high-water mark of the LRU -- the bounded-memory guarantee
+    tests assert against.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_cached_chunks: int = 8,
+        mmap: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        header_path = self.path / HEADER_FILE
+        try:
+            header = json.loads(header_path.read_text())
+        except OSError as error:
+            raise TraceFormatError("cannot read %s: %s" % (header_path, error)) from None
+        except ValueError:
+            raise TraceFormatError("%s is not valid JSON" % header_path) from None
+        if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+            raise TraceFormatError("%s is not a %s store" % (self.path, FORMAT_NAME))
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                "unsupported %s version %r (this build reads version %d)"
+                % (FORMAT_NAME, header.get("version"), FORMAT_VERSION)
+            )
+        self.header = header
+        try:
+            self.name = str(header["name"])
+            self.chunk_size = int(header["chunk_size"])
+            self.num_chunks = int(header["num_chunks"])
+            self.total_accesses = int(header["total_accesses"])
+            self.compression = str(header["compression"])
+            self.content_hash = str(header["content_hash"])
+        except (KeyError, ValueError, TypeError) as error:
+            raise TraceFormatError(
+                "%s has a corrupt header (missing or malformed field: %s)"
+                % (header_path, error)
+            ) from None
+        self.stats = dict(header.get("stats", {}))
+        self.metadata = dict(header.get("metadata", {}))
+        self.max_cached_chunks = max(1, int(max_cached_chunks))
+        self.mmap = bool(mmap)
+        self._cache: "OrderedDict[int, ChunkColumns]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.max_resident_chunks = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.total_accesses
+
+    @property
+    def total_instructions(self) -> int:
+        return int(self.stats.get("total_instructions", 0))
+
+    @property
+    def read_count(self) -> int:
+        return int(self.stats.get("read_count", 0))
+
+    @property
+    def write_count(self) -> int:
+        return int(self.stats.get("write_count", 0))
+
+    @property
+    def footprint_bytes(self) -> int:
+        return int(self.stats.get("footprint_bytes", 0))
+
+    # ------------------------------------------------------------------
+    def _load_chunk(self, index: int) -> ChunkColumns:
+        stem = self.path / _chunk_stem(index)
+        try:
+            if self.compression == "npz":
+                with np.load(str(stem) + ".npz") as archive:
+                    return (archive["gaps"], archive["writes"], archive["addrs"])
+            mode = "r" if self.mmap else None
+            return (
+                np.load(str(stem) + ".gaps.npy", mmap_mode=mode),
+                np.load(str(stem) + ".writes.npy", mmap_mode=mode),
+                np.load(str(stem) + ".addrs.npy", mmap_mode=mode),
+            )
+        except OSError as error:
+            raise TraceFormatError("cannot read chunk %d of %s: %s" % (index, self.path, error)) from None
+
+    def chunk(self, index: int) -> ChunkColumns:
+        """Decoded columns of chunk ``index``, via the bounded LRU."""
+        if not 0 <= index < self.num_chunks:
+            raise IndexError("chunk %d out of range [0, %d)" % (index, self.num_chunks))
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        columns = self._load_chunk(index)
+        self._cache[index] = columns
+        while len(self._cache) > self.max_cached_chunks:
+            self._cache.popitem(last=False)
+        self.max_resident_chunks = max(self.max_resident_chunks, len(self._cache))
+        return columns
+
+    def iter_chunks(self) -> Iterator[ChunkColumns]:
+        """Stream every chunk front to back (bounded memory)."""
+        for index in range(self.num_chunks):
+            yield self.chunk(index)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> bool:
+        """Re-stream the store and check the content hash and counts."""
+        digest = hashlib.sha256()
+        count = 0
+        for gaps, writes, addrs in self.iter_chunks():
+            digest.update(canonical_record_bytes(gaps, writes, addrs))
+            count += len(gaps)
+        return digest.hexdigest() == self.content_hash and count == self.total_accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "TraceStore(%r, %d accesses, %d chunks, %s)" % (
+            str(self.path), self.total_accesses, self.num_chunks, self.compression,
+        )
+
+
+def open_trace_store(path: Union[str, Path], **kwargs) -> TraceStore:
+    """Open an on-disk trace store (raises :class:`TraceFormatError`)."""
+    return TraceStore(path, **kwargs)
+
+
+def is_trace_store(path: Union[str, Path]) -> bool:
+    """Whether ``path`` points at a trace store (its directory or header)."""
+    candidate = Path(path)
+    if candidate.name == HEADER_FILE:
+        candidate = candidate.parent
+    return (candidate / HEADER_FILE).is_file()
+
+
+def _source_store_paths(source) -> list:
+    """On-disk store paths feeding ``source`` (for write-onto-self guards)."""
+    if isinstance(source, TraceStore):
+        return [source.path]
+    collector = getattr(source, "source_store_paths", None)
+    if callable(collector):
+        return list(collector())
+    return []
+
+
+def save_trace(
+    source,
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compression: bool = True,
+    metadata: Optional[Dict[str, object]] = None,
+    overwrite: bool = False,
+) -> TraceStore:
+    """Write ``source`` to an on-disk store and reopen it.
+
+    ``source`` may be anything chunk-streamable (a
+    :class:`~repro.traces.streaming.StreamingTrace`, a mixer view), a
+    :class:`~repro.cpu.trace.MemoryTrace`, or a plain iterable of
+    ``TraceRecord``s.  Chunked sources are streamed column-wise and never
+    materialized.
+    """
+    if name is None:
+        name = getattr(source, "name", None) or Path(path).stem
+    # Writing a store onto one of its own sources would delete the chunks
+    # out from under the reader (overwrite clears the destination first).
+    destination = Path(path).resolve()
+    for source_path in _source_store_paths(source):
+        if Path(source_path).resolve() == destination:
+            raise TraceFormatError(
+                "destination %s is (a source of) the trace being written; "
+                "write to a different path" % path
+            )
+    writer = TraceWriter(
+        path, name=name, chunk_size=chunk_size, compression=compression,
+        metadata=metadata, overwrite=overwrite,
+    )
+    chunk_source = getattr(source, "iter_chunk_arrays", None)
+    if callable(chunk_source):
+        for gaps, writes, addrs in chunk_source():
+            writer.append_columns(gaps, writes, addrs)
+    else:
+        writer.append_records(iter(source))
+    writer.close()
+    return TraceStore(path)

@@ -1,0 +1,391 @@
+"""Importers for external trace formats, and the matching exporters.
+
+Two external formats come in:
+
+* ``text`` -- the simple ``addr,is_write[,pc]`` format (one access per
+  line, ``#`` comments, comma or whitespace separated).  Addresses are hex
+  (``0x...``) or decimal; the write flag accepts ``0/1``, ``r/w``,
+  ``read/write``.  A third numeric column is treated as a program counter
+  and ignored, **unless** the file carries the header comment this
+  package's own exporter writes (``# columns: address,is_write,
+  instruction_gap``), in which case the third column is the instruction
+  gap -- that is what makes export -> import round-trip losslessly.
+* ``dramsim`` (alias ``champsim``) -- ChampSim/DRAMsim-style request
+  streams: ``address op cycle`` per line (comma or whitespace separated),
+  with ops like ``READ``/``WRITE``/``P_MEM_RD``/``P_MEM_WR``.  Cycle deltas
+  between consecutive requests become instruction gaps (scaled by
+  ``instructions_per_cycle``), which is the standard IPC-1 convention for
+  replaying request streams through a core model.
+
+Importers parse in bounded batches straight into a
+:class:`~repro.traces.format.TraceWriter`, so a multi-hundred-million-line
+file never materializes; exporters stream chunks back out the same way.
+Because the on-disk content hash is chunk-independent and record-major,
+``import -> export -> import`` reproduces the exact hash, which the CI
+trace-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.traces.format import (
+    DEFAULT_CHUNK_SIZE,
+    TraceStore,
+    TraceWriter,
+    open_trace_store,
+)
+from repro.traces.streaming import StreamingTrace, load_trace
+
+__all__ = [
+    "TraceImportError",
+    "TEXT_COLUMNS_HEADER",
+    "import_trace",
+    "import_text_trace",
+    "import_dramsim_trace",
+    "export_trace",
+    "export_text_trace",
+    "export_dramsim_trace",
+    "importer_names",
+    "exporter_names",
+]
+
+#: Header comment the text exporter writes so the third column round-trips
+#: as the instruction gap instead of being ignored as a program counter.
+TEXT_COLUMNS_HEADER = "# columns: address,is_write,instruction_gap"
+
+#: Parsed-line batch size (records buffered before hitting the writer).
+_BATCH = 1 << 15
+
+_WRITE_TOKENS = {"1", "w", "wr", "write", "true", "p_mem_wr", "writeback"}
+_READ_TOKENS = {"0", "r", "rd", "read", "false", "p_mem_rd", "prefetch"}
+
+
+class TraceImportError(ValueError):
+    """A source line the selected importer cannot parse."""
+
+
+def _parse_address(token: str, path: str, line_number: int) -> int:
+    try:
+        value = int(token, 16) if token.lower().startswith("0x") else int(token)
+    except ValueError:
+        raise TraceImportError(
+            "%s:%d: %r is not a hex or decimal address" % (path, line_number, token)
+        ) from None
+    if value < 0:
+        raise TraceImportError("%s:%d: negative address %d" % (path, line_number, value))
+    if value >= 1 << 63:
+        # Kernel-half virtual addresses (0xffff8800...) overflow the int64
+        # columns; captures must mask them to physical/canonical form first.
+        raise TraceImportError(
+            "%s:%d: address %#x does not fit in a signed 64-bit column; "
+            "mask the capture's addresses below 2^63 before importing"
+            % (path, line_number, value)
+        )
+    return value
+
+
+def _parse_write_flag(token: str, path: str, line_number: int) -> int:
+    lowered = token.lower()
+    if lowered in _WRITE_TOKENS:
+        return 1
+    if lowered in _READ_TOKENS:
+        return 0
+    raise TraceImportError(
+        "%s:%d: %r is not a read/write flag (expected 0/1, r/w, read/write)"
+        % (path, line_number, token)
+    )
+
+
+def _split_line(line: str) -> List[str]:
+    return line.replace(",", " ").split()
+
+
+def _line_stream(
+    source: Union[str, Path, TextIO],
+) -> Tuple[Iterator[Tuple[int, str]], str, Optional[TextIO]]:
+    """(numbered lines, display label, handle-to-close-or-None) for a source.
+
+    Caller-supplied streams are not closed (the caller owns them); paths we
+    open ourselves are returned as the third element so the importer can
+    close them in a ``finally`` even when a parse error aborts mid-file.
+    """
+    if hasattr(source, "read"):
+        return enumerate(source, start=1), getattr(source, "name", "<stream>"), None
+    path = Path(source)
+    try:
+        handle = path.open("r")
+    except OSError as error:
+        raise TraceImportError("cannot read %s: %s" % (path, error)) from None
+    return enumerate(handle, start=1), str(path), handle
+
+
+def _flush(writer: TraceWriter, gaps: List[int], writes: List[int], addrs: List[int]) -> None:
+    if gaps:
+        writer.append_columns(
+            np.asarray(gaps, dtype=np.int64),
+            np.asarray(writes, dtype=np.uint8),
+            np.asarray(addrs, dtype=np.int64),
+        )
+        gaps.clear()
+        writes.clear()
+        addrs.clear()
+
+
+def import_text_trace(
+    source: Union[str, Path, TextIO],
+    dest: Union[str, Path],
+    name: Optional[str] = None,
+    default_gap: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compression: bool = True,
+    overwrite: bool = False,
+) -> TraceStore:
+    """Import an ``addr,is_write[,pc]`` text file into an on-disk store.
+
+    ``default_gap`` is the instruction gap assigned to every record when
+    the file does not carry gap information (the external format has
+    none); files written by :func:`export_text_trace` carry their gaps in
+    the third column and restore them exactly.
+    """
+    if default_gap < 0:
+        raise TraceImportError("default_gap must be non-negative")
+    lines, path_label, handle = _line_stream(source)
+    if name is None:
+        name = Path(path_label).stem if path_label != "<stream>" else "imported"
+    writer = TraceWriter(
+        dest, name=name, chunk_size=chunk_size, compression=compression,
+        metadata={"source_format": "text", "source": path_label},
+        overwrite=overwrite,
+    )
+    gaps: List[int] = []
+    writes: List[int] = []
+    addrs: List[int] = []
+    third_is_gap = False
+    try:
+        for line_number, raw in lines:
+            line = raw.strip()
+            if line.startswith("#"):
+                if line.replace(" ", "") == TEXT_COLUMNS_HEADER.replace(" ", ""):
+                    third_is_gap = True
+                continue
+            if not line:
+                continue
+            fields = _split_line(line)
+            if len(fields) not in (2, 3):
+                raise TraceImportError(
+                    "%s:%d: expected 'addr,is_write[,pc]', got %r"
+                    % (path_label, line_number, raw.rstrip())
+                )
+            address = _parse_address(fields[0], path_label, line_number)
+            write = _parse_write_flag(fields[1], path_label, line_number)
+            gap = default_gap
+            if len(fields) == 3 and third_is_gap:
+                gap = _parse_address(fields[2], path_label, line_number)
+            gaps.append(gap)
+            writes.append(write)
+            addrs.append(address)
+            if len(gaps) >= _BATCH:
+                _flush(writer, gaps, writes, addrs)
+    finally:
+        if handle is not None:
+            handle.close()
+    _flush(writer, gaps, writes, addrs)
+    writer.close()
+    return open_trace_store(dest)
+
+
+def import_dramsim_trace(
+    source: Union[str, Path, TextIO],
+    dest: Union[str, Path],
+    name: Optional[str] = None,
+    instructions_per_cycle: float = 1.0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compression: bool = True,
+    overwrite: bool = False,
+) -> TraceStore:
+    """Import a ChampSim/DRAMsim-style ``address op cycle`` request stream.
+
+    Cycle deltas between consecutive requests become instruction gaps
+    (``delta * instructions_per_cycle``), so the replayed stream preserves
+    the source's request spacing under the IPC-1 convention.
+    """
+    if instructions_per_cycle <= 0:
+        raise TraceImportError("instructions_per_cycle must be positive")
+    lines, path_label, handle = _line_stream(source)
+    if name is None:
+        name = Path(path_label).stem if path_label != "<stream>" else "imported"
+    writer = TraceWriter(
+        dest, name=name, chunk_size=chunk_size, compression=compression,
+        metadata={
+            "source_format": "dramsim",
+            "source": path_label,
+            "instructions_per_cycle": instructions_per_cycle,
+        },
+        overwrite=overwrite,
+    )
+    gaps: List[int] = []
+    writes: List[int] = []
+    addrs: List[int] = []
+    previous_cycle: Optional[int] = None
+    try:
+        for line_number, raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = _split_line(line)
+            if len(fields) != 3:
+                raise TraceImportError(
+                    "%s:%d: expected 'address op cycle', got %r"
+                    % (path_label, line_number, raw.rstrip())
+                )
+            address = _parse_address(fields[0], path_label, line_number)
+            write = _parse_write_flag(fields[1], path_label, line_number)
+            cycle = _parse_address(fields[2], path_label, line_number)
+            if previous_cycle is None:
+                gap = 0
+            elif cycle < previous_cycle:
+                raise TraceImportError(
+                    "%s:%d: cycle %d goes backwards (previous was %d)"
+                    % (path_label, line_number, cycle, previous_cycle)
+                )
+            else:
+                gap = int((cycle - previous_cycle) * instructions_per_cycle)
+            previous_cycle = cycle
+            gaps.append(gap)
+            writes.append(write)
+            addrs.append(address)
+            if len(gaps) >= _BATCH:
+                _flush(writer, gaps, writes, addrs)
+    finally:
+        if handle is not None:
+            handle.close()
+    _flush(writer, gaps, writes, addrs)
+    writer.close()
+    return open_trace_store(dest)
+
+
+_IMPORTERS = {
+    "text": import_text_trace,
+    "dramsim": import_dramsim_trace,
+    "champsim": import_dramsim_trace,
+}
+
+
+def importer_names() -> List[str]:
+    return sorted(_IMPORTERS)
+
+
+def import_trace(
+    source: Union[str, Path, TextIO],
+    dest: Union[str, Path],
+    format: str = "text",
+    **options,
+) -> TraceStore:
+    """Import ``source`` using the named format (see :func:`importer_names`)."""
+    importer = _IMPORTERS.get(format)
+    if importer is None:
+        raise TraceImportError(
+            "unknown import format %r; available: %s" % (format, ", ".join(importer_names()))
+        )
+    return importer(source, dest, **options)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def _chunk_stream(source) -> Iterable:
+    """Chunk arrays of a store, a streamed view, or an in-memory trace."""
+    if isinstance(source, (str, Path)):
+        source = load_trace(source)
+    if isinstance(source, TraceStore):
+        source = StreamingTrace(source)
+    chunk_source = getattr(source, "iter_chunk_arrays", None)
+    if callable(chunk_source):
+        return chunk_source()
+    from repro.traces.streaming import iter_memory_trace_chunks
+
+    return iter_memory_trace_chunks(source)
+
+
+def export_text_trace(source, dest: Union[str, Path]) -> Path:
+    """Write ``source`` as ``addr,is_write,gap`` text (gap column declared).
+
+    The emitted header comment marks the third column as the instruction
+    gap, so :func:`import_text_trace` restores the stream exactly --
+    including the content hash.
+    """
+    dest = Path(dest)
+    with dest.open("w") as handle:
+        handle.write(TEXT_COLUMNS_HEADER + "\n")
+        for gaps, writes, addrs in _chunk_stream(source):
+            lines = [
+                "0x%x,%d,%d" % (addr, write, gap)
+                for gap, write, addr in zip(gaps.tolist(), writes.tolist(), addrs.tolist())
+            ]
+            handle.write("\n".join(lines) + "\n")
+    return dest
+
+
+def export_dramsim_trace(source, dest: Union[str, Path]) -> Path:
+    """Write ``source`` as a DRAMsim-style ``address op cycle`` stream.
+
+    Cycles are the running sum of instruction gaps (IPC-1 convention),
+    matching what :func:`import_dramsim_trace` turns back into gaps.
+    """
+    dest = Path(dest)
+    cycle = 0
+    first = True
+    with dest.open("w") as handle:
+        for gaps, writes, addrs in _chunk_stream(source):
+            lines = []
+            for gap, write, addr in zip(gaps.tolist(), writes.tolist(), addrs.tolist()):
+                # The first record's gap has no predecessor to space from.
+                cycle += 0 if first else gap
+                first = False
+                lines.append("0x%x %s %d" % (addr, "WRITE" if write else "READ", cycle))
+            if lines:
+                handle.write("\n".join(lines) + "\n")
+    return dest
+
+
+_EXPORTERS = {
+    "text": export_text_trace,
+    "dramsim": export_dramsim_trace,
+    "champsim": export_dramsim_trace,
+}
+
+
+def exporter_names() -> List[str]:
+    return sorted(_EXPORTERS)
+
+
+def export_trace(source, dest: Union[str, Path], format: str = "text", **options) -> Path:
+    """Export ``source`` in the named flat format (see :func:`exporter_names`)."""
+    exporter = _EXPORTERS.get(format)
+    if exporter is None:
+        raise TraceImportError(
+            "unknown export format %r; available: %s" % (format, ", ".join(exporter_names()))
+        )
+    return exporter(source, dest, **options)
+
+
+def trace_metadata(store: TraceStore) -> Dict[str, object]:
+    """The header fields ``repro trace info`` prints, as a flat dict."""
+    info: Dict[str, object] = {
+        "path": str(store.path),
+        "name": store.name,
+        "accesses": store.total_accesses,
+        "chunks": store.num_chunks,
+        "chunk_size": store.chunk_size,
+        "compression": store.compression,
+        "content_hash": store.content_hash,
+    }
+    info.update(store.stats)
+    for key, value in store.metadata.items():
+        info["meta.%s" % key] = value
+    return info

@@ -1,0 +1,122 @@
+"""The :meth:`repro.api.Session.traces` toolkit.
+
+One small facade binding the trace subsystem to a session: import and open
+on-disk stores, export workloads, compose multi-tenant mixes, and register
+any of it in the session's workload registry so streamed traces are
+addressable by name everywhere a workload name is accepted (comparisons,
+sweeps, figure matrices, fuzz backgrounds).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.traces.format import (
+    DEFAULT_CHUNK_SIZE,
+    HEADER_FILE,
+    TraceFormatError,
+    TraceStore,
+    is_trace_store,
+    save_trace,
+)
+from repro.traces.importers import export_trace, import_trace
+from repro.traces.streaming import (
+    DEFAULT_MIX_QUANTUM,
+    DEFAULT_MIX_STRIDE,
+    InterleavedTrace,
+    StreamingTrace,
+    interleave,
+    load_trace,
+)
+
+__all__ = ["TraceToolkit"]
+
+
+class TraceToolkit:
+    """Trace operations bound to one :class:`repro.api.Session`.
+
+    Every method returning a trace returns a *streamed view* -- pass it to
+    ``session.workloads(...)``/``session.compare(...)`` directly, or call
+    :meth:`register` to address it by name.
+    """
+
+    def __init__(self, session) -> None:
+        self._session = session
+
+    # -- I/O -----------------------------------------------------------
+    def open(self, path: Union[str, Path], name: Optional[str] = None) -> StreamingTrace:
+        """Open an on-disk trace store as a streamable workload."""
+        return load_trace(path, name=name)
+
+    def import_(
+        self,
+        source: Union[str, Path],
+        dest: Union[str, Path],
+        format: str = "text",
+        **options,
+    ) -> StreamingTrace:
+        """Import an external trace file into a store and open it."""
+        store = import_trace(source, dest, format=format, **options)
+        return StreamingTrace(store)
+
+    def save(
+        self,
+        trace,
+        dest: Union[str, Path],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        compression: bool = True,
+        overwrite: bool = False,
+    ) -> TraceStore:
+        """Write any trace (in-memory or streamed view) to an on-disk store."""
+        return save_trace(
+            trace, dest, chunk_size=chunk_size, compression=compression,
+            overwrite=overwrite,
+        )
+
+    def export(self, source, dest: Union[str, Path], format: str = "text") -> Path:
+        """Export a trace/store to a flat external format (text/dramsim)."""
+        return export_trace(source, dest, format=format)
+
+    # -- composition ---------------------------------------------------
+    def mix(
+        self,
+        components: Sequence,
+        name: str,
+        quantum: int = DEFAULT_MIX_QUANTUM,
+        stride: int = DEFAULT_MIX_STRIDE,
+    ) -> InterleavedTrace:
+        """A lazy multi-program interleaving of several tenant traces.
+
+        Components may be registered workload names (built with the
+        session's experiment budget), streamed views, or in-memory traces.
+        """
+        resolved = [
+            self._session.workload_registry().build(
+                component,
+                num_accesses=self._session.experiment.num_accesses,
+                seed=self._session.experiment.seed,
+            )
+            if isinstance(component, str) else component
+            for component in components
+        ]
+        return interleave(resolved, name, quantum=quantum, stride=stride)
+
+    # -- registry ------------------------------------------------------
+    def register(
+        self,
+        trace_or_path,
+        name: Optional[str] = None,
+        replace_existing: bool = False,
+    ):
+        """Register a streamed trace (or a store path) as a named workload."""
+        trace = trace_or_path
+        if isinstance(trace, (str, Path)):
+            if not is_trace_store(trace):
+                raise TraceFormatError(
+                    "%s is not a trace store (no %s found)" % (trace, HEADER_FILE)
+                )
+            trace = self.open(trace)
+        return self._session.register_trace(
+            trace, name=name, replace_existing=replace_existing
+        )

@@ -1,0 +1,621 @@
+"""Bounded-memory workload views over on-disk stores, plus the mixer.
+
+:class:`StreamingTrace` makes an on-disk :class:`~repro.traces.format.TraceStore`
+quack like a :class:`~repro.cpu.trace.MemoryTrace` everywhere the simulator
+cares -- ``name``, ``len``, iteration, the summary statistics, and
+``offset``/``truncated`` views -- without ever materializing the record
+list.  Three protocols make that work end to end:
+
+* **Chunk streaming** -- ``iter_chunk_arrays()`` yields ``(gaps, writes,
+  addrs)`` numpy column triples with the view's lazy transform chain
+  applied; ``open_cursor()`` wraps that stream in the chunked record cursor
+  the trace-driven core consumes (see :mod:`repro.cpu.core`), which is also
+  the *vectorized fast path*: records reach the core as plain tuples
+  decoded one chunk at a time instead of per-record dataclass instances.
+* **Cache identity** -- every view carries a precomputed ``_cache_token``
+  derived from the store's streaming content hash plus the transform
+  chain's fingerprints, so
+  :func:`repro.workloads.registry.trace_cache_token` (and therefore every
+  result-cache key) is O(1) for streamed workloads.
+* **Cheap pickling** -- views reduce to ``(path, name, transforms)``, so a
+  :class:`~repro.sim.runner.SimulationJob` carrying a streamed workload
+  ships a few hundred bytes to a worker process, which reopens the store
+  lazily.
+
+:class:`InterleavedTrace` is the multi-program mixer: it round-robins
+``quantum``-record slices from several component traces, placing each
+component at a disjoint ``stride``-spaced address region, which models
+co-located tenants sharing one secure-memory system.  It implements the
+same protocols, so mixes stream, cache, pickle, register, and simulate
+exactly like single-program views.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cpu.trace import MemoryTrace, TraceRecord
+from repro.traces.format import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkColumns,
+    StreamStats,
+    TraceFormatError,
+    TraceStore,
+    canonicalize_columns,
+)
+from repro.traces.transforms import (
+    Offset,
+    RescaleFootprint,
+    Sample,
+    TraceTransform,
+    Truncate,
+    chain_fingerprint,
+)
+
+__all__ = [
+    "ChunkCursor",
+    "ChunkedTrace",
+    "StreamingTrace",
+    "InterleavedTrace",
+    "load_trace",
+    "interleave",
+    "iter_memory_trace_chunks",
+    "DEFAULT_MIX_QUANTUM",
+    "DEFAULT_MIX_STRIDE",
+]
+
+#: Records taken from each tenant per mixer round.
+DEFAULT_MIX_QUANTUM = 256
+#: Address-space spacing between co-located tenants (16 GiB regions).
+DEFAULT_MIX_STRIDE = 1 << 34
+
+
+class ChunkCursor:
+    """Sequential record cursor over a chunk-array stream.
+
+    This is the chunked fast path of the simulate loop: one ``tolist()``
+    per chunk column converts the whole chunk to native Python scalars in
+    vectorized C, and ``peek``/``advance`` then serve plain
+    ``(gap, is_write, address)`` tuples with no per-record object
+    construction or attribute lookups.
+    """
+
+    __slots__ = ("_chunks", "_gaps", "_writes", "_addrs", "_index", "_length", "_current")
+
+    def __init__(self, chunk_arrays: Iterator[ChunkColumns]) -> None:
+        self._chunks = iter(chunk_arrays)
+        self._gaps: List[int] = []
+        self._writes: List[int] = []
+        self._addrs: List[int] = []
+        self._index = 0
+        self._length = 0
+        self._current: Optional[Tuple[int, bool, int]] = None
+
+    def peek(self) -> Optional[Tuple[int, bool, int]]:
+        """The next ``(gap, is_write, address)`` tuple, or None at the end."""
+        if self._current is None:
+            while self._index >= self._length:
+                try:
+                    gaps, writes, addrs = next(self._chunks)
+                except StopIteration:
+                    return None
+                self._gaps = gaps.tolist()
+                self._writes = writes.tolist()
+                self._addrs = addrs.tolist()
+                self._index = 0
+                self._length = len(self._gaps)
+            i = self._index
+            self._current = (self._gaps[i], bool(self._writes[i]), self._addrs[i])
+        return self._current
+
+    def advance(self) -> None:
+        self._index += 1
+        self._current = None
+
+
+def iter_memory_trace_chunks(
+    trace: MemoryTrace, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[ChunkColumns]:
+    """Adapt an in-memory trace to the chunk-array protocol (for mixing)."""
+    gaps: List[int] = []
+    writes: List[int] = []
+    addrs: List[int] = []
+    for record in trace:
+        gaps.append(record.instruction_gap)
+        writes.append(1 if record.is_write else 0)
+        addrs.append(record.address)
+        if len(gaps) >= chunk_size:
+            yield canonicalize_columns(gaps, writes, addrs)
+            gaps, writes, addrs = [], [], []
+    if gaps:
+        yield canonicalize_columns(gaps, writes, addrs)
+
+
+def _component_chunks(trace) -> Iterator[ChunkColumns]:
+    chunk_source = getattr(trace, "iter_chunk_arrays", None)
+    if callable(chunk_source):
+        return chunk_source()
+    return iter_memory_trace_chunks(trace)
+
+
+def _component_token(trace) -> str:
+    # Imported lazily: the registry imports repro.cpu.trace, not this module,
+    # so there is no cycle -- but keeping the import local documents that
+    # the mixer only needs the token function, not the registry itself.
+    from repro.workloads.registry import trace_cache_token
+
+    return trace_cache_token(trace)
+
+
+class ChunkedTrace:
+    """Shared machinery of every lazy chunk-streamed workload view.
+
+    Subclasses provide the *base* stream (an on-disk store, a mix of
+    components) through ``_base_chunk_arrays`` / ``_base_length`` /
+    ``_base_stats`` / ``_base_identity`` / ``_clone``; this class layers the
+    transform chain, the MemoryTrace-compatible surface, the statistics
+    (header-served when the transforms preserve them, one cached streaming
+    pass otherwise), and the precomputed cache token on top.
+    """
+
+    def __init__(self, name: str, transforms: Tuple[TraceTransform, ...]) -> None:
+        self.name = name
+        self.transforms = tuple(transforms)
+        self._stats_cache: Optional[StreamStats] = None
+        self._length_cache: Optional[int] = None
+        digest = hashlib.sha256(
+            ("%s|%s|%s" % (self._base_identity(), self.name, chain_fingerprint(self.transforms)))
+            .encode("utf-8")
+        ).hexdigest()
+        # trace_cache_token() looks for this attribute, which is what makes
+        # result-cache keys O(1) for streamed workloads of any length.
+        self._cache_token = "trace:stream:%s" % digest
+
+    # -- subclass surface ----------------------------------------------
+    def _base_chunk_arrays(self) -> Iterator[ChunkColumns]:
+        raise NotImplementedError
+
+    def _base_length(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def _base_stats(self) -> Optional[dict]:
+        """Pre-transform stats when known without a pass (else None)."""
+        raise NotImplementedError
+
+    def _base_identity(self) -> str:
+        raise NotImplementedError
+
+    def _clone(self, name: str, transforms: Tuple[TraceTransform, ...]) -> "ChunkedTrace":
+        raise NotImplementedError
+
+    # -- chunk/record streaming ----------------------------------------
+    def iter_chunk_arrays(self) -> Iterator[ChunkColumns]:
+        """The transformed chunk stream (bounded memory)."""
+        chunks = self._base_chunk_arrays()
+        for transform in self.transforms:
+            chunks = transform.stream(chunks)
+        return chunks
+
+    def open_cursor(self) -> ChunkCursor:
+        """A fresh sequential cursor (the core model's fast path)."""
+        return ChunkCursor(self.iter_chunk_arrays())
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for gaps, writes, addrs in self.iter_chunk_arrays():
+            for gap, write, addr in zip(gaps.tolist(), writes.tolist(), addrs.tolist()):
+                yield TraceRecord(gap, bool(write), addr)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Materialize the full record list.
+
+        Provided for :class:`~repro.cpu.trace.MemoryTrace` API parity only;
+        it defeats bounded memory on purpose, so simulation paths never
+        call it.
+        """
+        return list(self)
+
+    # -- statistics ----------------------------------------------------
+    def _resolved_stats(self) -> StreamStats:
+        if self._stats_cache is None:
+            stats = StreamStats()
+            for gaps, writes, addrs in self.iter_chunk_arrays():
+                stats.update(gaps, writes, addrs)
+            self._stats_cache = stats
+            self._length_cache = stats.total_accesses
+        return self._stats_cache
+
+    def _fast_stats(self) -> Optional[dict]:
+        """Post-transform header stats when no pass is needed, else None."""
+        stats = self._base_stats()
+        for transform in self.transforms:
+            if stats is None:
+                return None
+            stats = transform.transformed_stats(stats)
+        return stats
+
+    def _stat(self, key: str) -> int:
+        fast = self._fast_stats()
+        if fast is not None and key in fast:
+            return int(fast[key])
+        return int(getattr(self._resolved_stats(), key))
+
+    def __len__(self) -> int:
+        if self._length_cache is None:
+            length = self._base_length()
+            for transform in self.transforms:
+                length = transform.transformed_length(length)
+            if length is None:
+                length = self._resolved_stats().total_accesses
+            self._length_cache = int(length)
+        return self._length_cache
+
+    @property
+    def total_accesses(self) -> int:
+        return len(self)
+
+    @property
+    def total_instructions(self) -> int:
+        return self._stat("total_instructions")
+
+    @property
+    def read_count(self) -> int:
+        return self._stat("read_count")
+
+    @property
+    def write_count(self) -> int:
+        return self._stat("write_count")
+
+    @property
+    def write_fraction(self) -> float:
+        total = len(self)
+        return self.write_count / total if total else 0.0
+
+    @property
+    def mpki(self) -> float:
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * self.read_count / instructions
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self._stat("footprint_bytes")
+
+    def registration_stats(self) -> Tuple[float, float]:
+        """``(mpki, write_fraction)`` for registry metadata, without a pass.
+
+        Exact when the transform chain preserves the counts; otherwise the
+        *base* stream's ratios stand in (a truncated or sampled view's read
+        mix and MPKI converge to its base's), so registering a huge
+        transformed view never decodes it.  Only a base with no header
+        statistics at all (nothing in practice) falls back to a streaming
+        pass via the exact properties.
+        """
+        stats = self._fast_stats() or self._base_stats()
+        if stats is None:
+            return self.mpki, self.write_fraction
+        reads = int(stats.get("read_count", 0))
+        writes = int(stats.get("write_count", 0))
+        instructions = int(stats.get("total_instructions", 0))
+        total = reads + writes
+        return (
+            1000.0 * reads / instructions if instructions else 0.0,
+            writes / total if total else 0.0,
+        )
+
+    # -- lazy views ----------------------------------------------------
+    def _with_transform(self, transform: TraceTransform) -> "ChunkedTrace":
+        return self._clone(self.name, self.transforms + (transform,))
+
+    def with_name(self, name: str) -> "ChunkedTrace":
+        """The same view under another name (no data copied)."""
+        if name == self.name:
+            return self
+        return self._clone(name, self.transforms)
+
+    def offset(self, byte_offset: int) -> "ChunkedTrace":
+        """Lazy address shift; the multi-core system replicates traces with it."""
+        if byte_offset == 0:
+            return self
+        return self._with_transform(Offset(byte_offset))
+
+    def truncated(self, max_records: int) -> "ChunkedTrace":
+        """Lazy prefix view of the first ``max_records`` accesses."""
+        return self._with_transform(Truncate(max_records))
+
+    def sampled(self, fraction: float, seed: int = 1) -> "ChunkedTrace":
+        """Lazy seeded per-record subsample."""
+        return self._with_transform(Sample(fraction, seed))
+
+    def rescaled_footprint(self, target_bytes: int) -> "ChunkedTrace":
+        """Lazy footprint fold into ``target_bytes``."""
+        return self._with_transform(RescaleFootprint(target_bytes))
+
+    @property
+    def cache_token(self) -> str:
+        """The O(1) result-cache identity of this view."""
+        return self._cache_token
+
+    def source_store_paths(self) -> List[Path]:
+        """On-disk stores this view reads from (write-onto-self guards)."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "%s(%r, transforms=[%s])" % (
+            type(self).__name__, self.name, chain_fingerprint(self.transforms),
+        )
+
+
+class StreamingTrace(ChunkedTrace):
+    """A MemoryTrace-compatible bounded-memory view over an on-disk store."""
+
+    def __init__(
+        self,
+        store: Union[TraceStore, str, Path],
+        name: Optional[str] = None,
+        transforms: Tuple[TraceTransform, ...] = (),
+        max_cached_chunks: int = 8,
+    ) -> None:
+        if isinstance(store, TraceStore):
+            self._store: Optional[TraceStore] = store
+            self._path = store.path
+        else:
+            self._store = None
+            self._path = Path(store)
+        self._max_cached_chunks = max_cached_chunks
+        super().__init__(name or self.store.name, transforms)
+
+    @property
+    def store(self) -> TraceStore:
+        """The underlying store, opened lazily (survives pickling)."""
+        if self._store is None:
+            self._store = TraceStore(self._path, max_cached_chunks=self._max_cached_chunks)
+        return self._store
+
+    # -- ChunkedTrace surface ------------------------------------------
+    def _base_chunk_arrays(self) -> Iterator[ChunkColumns]:
+        return self.store.iter_chunks()
+
+    def _base_length(self) -> Optional[int]:
+        return self.store.total_accesses
+
+    def _base_stats(self) -> Optional[dict]:
+        stats = self.store.stats
+        return dict(stats) if stats else None
+
+    def _base_identity(self) -> str:
+        return "store:%s" % self.store.content_hash
+
+    def _clone(self, name: str, transforms: Tuple[TraceTransform, ...]) -> "StreamingTrace":
+        # Clones share the open store (and therefore its chunk LRU): the
+        # four per-core offset views of one simulation stream in near
+        # lockstep, so one small shared window serves them all.
+        return StreamingTrace(
+            self.store, name=name, transforms=transforms,
+            max_cached_chunks=self._max_cached_chunks,
+        )
+
+    def source_store_paths(self) -> List[Path]:
+        return [self._path]
+
+    def __reduce__(self):
+        return (
+            _rebuild_streaming,
+            (str(self._path), self.name, self.transforms, self._max_cached_chunks),
+        )
+
+
+def _rebuild_streaming(path, name, transforms, max_cached_chunks) -> StreamingTrace:
+    return StreamingTrace(
+        path, name=name, transforms=tuple(transforms), max_cached_chunks=max_cached_chunks
+    )
+
+
+class InterleavedTrace(ChunkedTrace):
+    """Multi-program mix: round-robin quanta from co-located tenant traces.
+
+    Every component keeps its own instruction gaps (each tenant retires its
+    own instructions between accesses) and is shifted to a disjoint
+    ``stride``-spaced region, so tenants contend for the memory system and
+    the shared metadata cache without sharing lines -- the co-location
+    scenario the generator layer cannot express.
+    """
+
+    def __init__(
+        self,
+        components: Sequence,
+        name: str,
+        quantum: int = DEFAULT_MIX_QUANTUM,
+        stride: int = DEFAULT_MIX_STRIDE,
+        transforms: Tuple[TraceTransform, ...] = (),
+    ) -> None:
+        if len(components) < 2:
+            raise ValueError("an interleaved trace needs at least two components")
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        if stride < 0:
+            raise ValueError("stride must be non-negative")
+        self.components = tuple(components)
+        self.quantum = int(quantum)
+        self.stride = int(stride)
+        super().__init__(name, transforms)
+
+    # -- ChunkedTrace surface ------------------------------------------
+    def _base_chunk_arrays(self) -> Iterator[ChunkColumns]:
+        pullers = [
+            _QuantumPuller(
+                _component_chunks(component),
+                index * self.stride,
+                # Tenant regions are only disjoint if every component stays
+                # below the stride; enforce it chunk-wise (stride=0 opts
+                # into deliberate overlap).
+                address_limit=self.stride if self.stride else None,
+                tenant=index,
+            )
+            for index, component in enumerate(self.components)
+        ]
+        buffered: List[ChunkColumns] = []
+        buffered_records = 0
+        while pullers:
+            exhausted: List[_QuantumPuller] = []
+            for puller in pullers:
+                columns = puller.take(self.quantum)
+                if columns is None:
+                    exhausted.append(puller)
+                    continue
+                buffered.append(columns)
+                buffered_records += len(columns[0])
+                if buffered_records >= DEFAULT_CHUNK_SIZE:
+                    yield _concatenate(buffered)
+                    buffered, buffered_records = [], 0
+            for puller in exhausted:
+                pullers.remove(puller)
+        if buffered:
+            yield _concatenate(buffered)
+
+    def _base_length(self) -> Optional[int]:
+        return sum(component.total_accesses for component in self.components)
+
+    def _base_stats(self) -> Optional[dict]:
+        # The counts are additive across tenants, so registration-time
+        # statistics (mpki, write fraction) never touch the data.  The
+        # footprint is deliberately absent: tenant regions could overlap
+        # under later transforms, so it takes a streaming pass -- ``_stat``
+        # falls back to one only for that key.
+        return {
+            "total_instructions": sum(c.total_instructions for c in self.components),
+            "read_count": sum(c.read_count for c in self.components),
+            "write_count": sum(c.write_count for c in self.components),
+        }
+
+    def _base_identity(self) -> str:
+        return "mix:q%d:s%d:%s" % (
+            self.quantum,
+            self.stride,
+            ",".join(_component_token(component) for component in self.components),
+        )
+
+    def _clone(self, name: str, transforms: Tuple[TraceTransform, ...]) -> "InterleavedTrace":
+        return InterleavedTrace(
+            self.components, name, quantum=self.quantum, stride=self.stride,
+            transforms=transforms,
+        )
+
+    def source_store_paths(self) -> List[Path]:
+        paths: List[Path] = []
+        for component in self.components:
+            collector = getattr(component, "source_store_paths", None)
+            if callable(collector):
+                paths.extend(collector())
+        return paths
+
+    def __reduce__(self):
+        return (
+            _rebuild_interleaved,
+            (self.components, self.name, self.quantum, self.stride, self.transforms),
+        )
+
+
+def _rebuild_interleaved(components, name, quantum, stride, transforms) -> InterleavedTrace:
+    return InterleavedTrace(
+        components, name, quantum=quantum, stride=stride, transforms=tuple(transforms)
+    )
+
+
+class _QuantumPuller:
+    """Pulls fixed-size record quanta from one component's chunk stream."""
+
+    __slots__ = ("_chunks", "_offset", "_columns", "_position", "_done",
+                 "_limit", "_tenant")
+
+    def __init__(
+        self,
+        chunks: Iterator[ChunkColumns],
+        address_offset: int,
+        address_limit: Optional[int] = None,
+        tenant: int = 0,
+    ) -> None:
+        self._chunks = chunks
+        self._offset = np.int64(address_offset)
+        self._columns: Optional[ChunkColumns] = None
+        self._position = 0
+        self._done = False
+        self._limit = address_limit
+        self._tenant = tenant
+
+    def take(self, quantum: int) -> Optional[ChunkColumns]:
+        """Up to ``quantum`` records (address-shifted), or None when drained."""
+        if self._done:
+            return None
+        parts: List[ChunkColumns] = []
+        needed = quantum
+        while needed > 0:
+            if self._columns is None or self._position >= len(self._columns[0]):
+                try:
+                    self._columns = next(self._chunks)
+                except StopIteration:
+                    self._done = True
+                    break
+                if self._limit is not None and len(self._columns[2]):
+                    highest = int(self._columns[2].max())
+                    if highest >= self._limit:
+                        # TraceFormatError so the CLI renders this as a
+                        # one-line user error, not a traceback.
+                        raise TraceFormatError(
+                            "tenant %d address %#x does not fit below the mix "
+                            "stride %#x; raise stride=..., rescale the "
+                            "component's footprint, or pass stride=0 for "
+                            "deliberate overlap" % (self._tenant, highest, self._limit)
+                        )
+                self._position = 0
+            gaps, writes, addrs = self._columns
+            end = min(self._position + needed, len(gaps))
+            parts.append((
+                gaps[self._position : end],
+                writes[self._position : end],
+                addrs[self._position : end] + self._offset,
+            ))
+            needed -= end - self._position
+            self._position = end
+        if not parts:
+            return None
+        return _concatenate(parts)
+
+
+def _concatenate(parts: Sequence[ChunkColumns]) -> ChunkColumns:
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+
+
+def load_trace(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    max_cached_chunks: int = 8,
+) -> StreamingTrace:
+    """Open an on-disk store as a streamable workload view."""
+    store_path = Path(path)
+    if store_path.name == "header.json":
+        store_path = store_path.parent
+    return StreamingTrace(
+        TraceStore(store_path, max_cached_chunks=max_cached_chunks), name=name
+    )
+
+
+def interleave(
+    components: Sequence,
+    name: str,
+    quantum: int = DEFAULT_MIX_QUANTUM,
+    stride: int = DEFAULT_MIX_STRIDE,
+) -> InterleavedTrace:
+    """Mix several traces into one multi-tenant stream (lazy)."""
+    return InterleavedTrace(components, name, quantum=quantum, stride=stride)

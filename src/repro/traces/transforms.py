@@ -1,0 +1,181 @@
+"""Lazy, composable trace transforms that fingerprint into cache keys.
+
+A transform rewrites the chunk stream of a trace view without materializing
+it: each one exposes ``stream(chunks)`` (a generator over ``(gaps, writes,
+addrs)`` column triples), plus enough metadata for the surrounding
+machinery to stay cheap and correct:
+
+* ``fingerprint()`` -- a stable identity string.  A transformed view's
+  result-cache token is derived from the underlying store's content hash
+  plus every fingerprint in the chain, so ``trace.truncated(10_000)`` and
+  ``trace.sampled(0.5)`` occupy different cache keyspaces without anyone
+  hashing records;
+* ``transformed_length(n)`` -- the post-transform record count when it is
+  computable without reading data (``None`` otherwise);
+* ``transformed_stats(stats)`` -- the post-transform header statistics when
+  they survive unchanged (``None`` forces a one-off streaming pass).
+
+Transforms compose left to right: ``trace.truncated(n).offset(b)`` applies
+the truncation first.  All of them are frozen dataclasses, so transformed
+views pickle cheaply into parallel simulation jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.traces.format import LINE_BYTES, ChunkColumns
+
+__all__ = [
+    "TraceTransform",
+    "Offset",
+    "Truncate",
+    "Sample",
+    "RescaleFootprint",
+    "chain_fingerprint",
+]
+
+
+class TraceTransform:
+    """Base class: one lazy rewrite of a chunk stream."""
+
+    def fingerprint(self) -> str:
+        raise NotImplementedError
+
+    def stream(self, chunks: Iterable[ChunkColumns]) -> Iterator[ChunkColumns]:
+        raise NotImplementedError
+
+    def transformed_length(self, length: Optional[int]) -> Optional[int]:
+        """Post-transform record count, or None when it needs a data pass."""
+        return None
+
+    def transformed_stats(self, stats: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """Post-transform header stats, or None when they need a data pass."""
+        return None
+
+
+@dataclass(frozen=True)
+class Offset(TraceTransform):
+    """Shift every address by ``byte_offset`` (per-core trace replication)."""
+
+    byte_offset: int
+
+    def fingerprint(self) -> str:
+        return "offset:%d" % self.byte_offset
+
+    def stream(self, chunks: Iterable[ChunkColumns]) -> Iterator[ChunkColumns]:
+        for gaps, writes, addrs in chunks:
+            yield gaps, writes, addrs + np.int64(self.byte_offset)
+
+    def transformed_length(self, length: Optional[int]) -> Optional[int]:
+        return length
+
+    def transformed_stats(self, stats: Dict[str, object]) -> Optional[Dict[str, object]]:
+        # Shifting addresses moves the footprint without changing its size
+        # or any of the counts.
+        return dict(stats)
+
+
+@dataclass(frozen=True)
+class Truncate(TraceTransform):
+    """Keep only the first ``max_records`` accesses."""
+
+    max_records: int
+
+    def __post_init__(self) -> None:
+        if self.max_records < 0:
+            raise ValueError("max_records must be non-negative")
+
+    def fingerprint(self) -> str:
+        return "truncate:%d" % self.max_records
+
+    def stream(self, chunks: Iterable[ChunkColumns]) -> Iterator[ChunkColumns]:
+        remaining = self.max_records
+        for gaps, writes, addrs in chunks:
+            if remaining <= 0:
+                return
+            if len(gaps) > remaining:
+                yield gaps[:remaining], writes[:remaining], addrs[:remaining]
+                return
+            remaining -= len(gaps)
+            yield gaps, writes, addrs
+
+    def transformed_length(self, length: Optional[int]) -> Optional[int]:
+        if length is None:
+            return None
+        return min(length, self.max_records)
+
+
+@dataclass(frozen=True)
+class Sample(TraceTransform):
+    """Keep each access independently with probability ``fraction``.
+
+    The decision stream is a seeded PCG64 draw per record, so a sampled
+    view is deterministic: the same (trace, fraction, seed) always keeps
+    the same records, which is what makes the view cacheable.
+    """
+
+    fraction: float
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+    def fingerprint(self) -> str:
+        return "sample:%r:%d" % (self.fraction, self.seed)
+
+    def stream(self, chunks: Iterable[ChunkColumns]) -> Iterator[ChunkColumns]:
+        rng = np.random.default_rng(self.seed)
+        for gaps, writes, addrs in chunks:
+            keep = rng.random(len(gaps)) < self.fraction
+            if keep.any():
+                yield gaps[keep], writes[keep], addrs[keep]
+
+
+@dataclass(frozen=True)
+class RescaleFootprint(TraceTransform):
+    """Fold the address stream into a ``target_bytes`` footprint.
+
+    Line indices are reduced modulo the target line count, which preserves
+    the stream's reuse *pattern* (sequential runs stay sequential, hot lines
+    stay hot) while shrinking the counter/tree working set -- the knob the
+    paper's Figure 7 effect turns on.
+    """
+
+    target_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.target_bytes < LINE_BYTES:
+            raise ValueError("target footprint must hold at least one line")
+
+    def fingerprint(self) -> str:
+        return "rescale:%d" % self.target_bytes
+
+    def stream(self, chunks: Iterable[ChunkColumns]) -> Iterator[ChunkColumns]:
+        target_lines = max(1, self.target_bytes // LINE_BYTES)
+        for gaps, writes, addrs in chunks:
+            folded = (addrs // LINE_BYTES % target_lines) * LINE_BYTES
+            yield gaps, writes, folded
+
+    def transformed_length(self, length: Optional[int]) -> Optional[int]:
+        return length
+
+    def transformed_stats(self, stats: Dict[str, object]) -> Optional[Dict[str, object]]:
+        # Folding leaves every count untouched; only the footprint changes
+        # (distinct lines can alias), so drop the footprint keys and let
+        # ``_stat`` fall back to a streaming pass for those alone.
+        preserved = {
+            key: stats[key]
+            for key in ("total_instructions", "read_count", "write_count")
+            if key in stats
+        }
+        return preserved or None
+
+
+def chain_fingerprint(transforms) -> str:
+    """The combined identity of a transform chain (order-sensitive)."""
+    return "|".join(t.fingerprint() for t in transforms)

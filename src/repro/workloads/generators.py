@@ -60,6 +60,17 @@ class TraceGeneratorConfig:
             raise ValueError("write_fraction must be in [0, 1]")
         if self.footprint_bytes < LINE_BYTES:
             raise ValueError("footprint must hold at least one line")
+        if self.num_accesses <= 0:
+            raise ValueError(
+                "num_accesses must be positive, got %d" % self.num_accesses
+            )
+        if self.hot_region_bytes > self.footprint_bytes:
+            raise ValueError(
+                "hot_region_bytes (%d) exceeds footprint_bytes (%d); a hot "
+                "region larger than the footprint silently degenerates to the "
+                "whole footprint -- shrink hot_region_bytes or grow the "
+                "footprint" % (self.hot_region_bytes, self.footprint_bytes)
+            )
 
 
 def _line_count(footprint_bytes: int) -> int:

@@ -183,17 +183,33 @@ class WorkloadRegistry(Mapping):
         Without an explicit ``cache_token`` the trace's content hash is used,
         which is always correct (two different traces can never collide) at
         the cost of one O(records) hash per process.
+
+        Streamed views register without any data pass: their cache token,
+        rename, and MPKI/write-mix metadata all come from header statistics
+        (for count-changing transforms like truncate/sample, the base
+        stream's ratios stand in -- see ``ChunkedTrace.registration_stats``).
         """
         name = name or trace.name
         if name != trace.name:
             # Keep the registered name and the trace's own name consistent,
             # so result tables key the workload the same way it was selected.
-            trace = MemoryTrace(name, trace.records)
+            # Streamed views rename lazily (no data copied); only plain
+            # in-memory traces need a record-list copy.
+            renamer = getattr(trace, "with_name", None)
+            if callable(renamer):
+                trace = renamer(name)
+            else:
+                trace = MemoryTrace(name, trace.records)
+        stats_builder = getattr(trace, "registration_stats", None)
+        if callable(stats_builder):
+            mpki, write_fraction = stats_builder()
+        else:
+            mpki, write_fraction = trace.mpki, trace.write_fraction
         spec = WorkloadSpec(
             name=name,
             suite=suite,
-            mpki=trace.mpki,
-            write_fraction=trace.write_fraction,
+            mpki=mpki,
+            write_fraction=write_fraction,
             trace=trace,
             cache_token=cache_token or trace_cache_token(trace),
         )

@@ -51,7 +51,7 @@ class TestArchitectureDoc:
         "repro.cpu", "repro.cache", "repro.controller", "repro.dram",
         "repro.secure", "repro.sim", "repro.figures", "repro.workloads",
         "repro.core", "repro.crypto", "repro.attacks", "repro.analysis",
-        "repro.fuzz",
+        "repro.fuzz", "repro.traces",
     ])
     def test_every_layer_is_described(self, layer):
         assert layer in ARCHITECTURE.read_text()
@@ -86,7 +86,7 @@ class TestPackageDocstrings:
         "repro", "repro.analysis", "repro.attacks", "repro.cache",
         "repro.controller", "repro.core", "repro.cpu", "repro.crypto",
         "repro.dram", "repro.figures", "repro.fuzz", "repro.secure",
-        "repro.sim", "repro.workloads",
+        "repro.sim", "repro.traces", "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):
         imported = __import__(module, fromlist=["__doc__"])

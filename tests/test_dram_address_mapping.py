@@ -91,3 +91,82 @@ class TestDecodeEncode:
                 for bank in range(4):
                     keys.add(DecodedAddress(0, rank, bg, bank, 0, 0).bank_key())
         assert len(keys) == 32
+
+
+#: Every mapping geometry the codebase builds somewhere: the Table I default
+#: (controller, processor engine, DIMM logic), the functional memory
+#: system's rank variants, and stress geometries for channel/bank-group/
+#: line-size extremes.  Keys name the geometry in test ids.
+REGISTERED_MAPPINGS = {
+    "table1_default": AddressMapping(),
+    "single_rank": AddressMapping(ranks=1),
+    "quad_rank": AddressMapping(ranks=4),
+    "ddr5_like_8_groups": AddressMapping(bank_groups=8, banks_per_group=2),
+    "dual_channel": AddressMapping(channels=2),
+    "wide_line_128B": AddressMapping(line_bytes=128, columns_per_row=64),
+}
+
+
+@pytest.fixture(params=sorted(REGISTERED_MAPPINGS), ids=lambda name: name)
+def registered_mapping(request) -> AddressMapping:
+    return REGISTERED_MAPPINGS[request.param]
+
+
+class TestRegionBoundaries:
+    """Encode/decode round trips at region boundaries and the top bit.
+
+    A mapping bug that swaps or truncates high-order fields shows up
+    exactly at these addresses: the last line before a field rolls over,
+    the first line after, and addresses with the top bit set -- which plain
+    random sampling essentially never hits.
+    """
+
+    def boundary_addresses(self, mapping: AddressMapping):
+        capacity = mapping.capacity_bytes
+        line = mapping.line_bytes
+        addresses = {0, line, capacity - line, capacity // 2, capacity // 2 - line}
+        # The boundary where each single field (and every prefix of fields)
+        # rolls over: 2^k lines for every field-width prefix k.
+        bits = 0
+        for width in (
+            mapping._channel_bits, mapping._bank_group_bits, mapping._bank_bits,
+            mapping._column_bits, mapping._rank_bits, mapping._row_bits,
+        ):
+            bits += width
+            rollover = (1 << bits) * line
+            if rollover < capacity:
+                addresses.update({rollover - line, rollover})
+        return sorted(addresses)
+
+    def test_round_trip_at_every_region_boundary(self, registered_mapping):
+        mapping = registered_mapping
+        for address in self.boundary_addresses(mapping):
+            decoded = mapping.decode(address)
+            assert mapping.encode(decoded) == address, hex(address)
+
+    def test_top_address_bit_round_trips(self, registered_mapping):
+        mapping = registered_mapping
+        top = 1 << (mapping.address_bits - 1)
+        decoded = mapping.decode(top)
+        assert mapping.encode(decoded) == top
+        # The top bit is the row MSB in this bit order; losing it would
+        # alias the upper half of memory onto the lower half.
+        assert decoded.row >= mapping.rows // 2
+        low_twin = mapping.decode(top - mapping.capacity_bytes // 2)
+        assert decoded != low_twin
+
+    def test_last_address_hits_every_field_maximum(self, registered_mapping):
+        mapping = registered_mapping
+        decoded = mapping.decode(mapping.capacity_bytes - mapping.line_bytes)
+        assert decoded.channel == mapping.channels - 1
+        assert decoded.rank == mapping.ranks - 1
+        assert decoded.bank_group == mapping.bank_groups - 1
+        assert decoded.bank == mapping.banks_per_group - 1
+        assert decoded.row == mapping.rows - 1
+        assert decoded.column == mapping.columns_per_row - 1
+
+    def test_decode_is_injective_across_boundaries(self, registered_mapping):
+        mapping = registered_mapping
+        addresses = self.boundary_addresses(mapping)
+        decoded = [mapping.decode(address) for address in addresses]
+        assert len(set(decoded)) == len(addresses)
