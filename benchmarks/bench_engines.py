@@ -1,0 +1,210 @@
+"""Benchmark: the vectorized batch engine vs the reference object model.
+
+Runs the same streamed-trace scenario as ``bench_trace_streaming.py``
+(workload ``mcf`` through ``secddr_ctr``, two cores) on both registered
+engines, asserts exact statistical parity, and reports accesses/second per
+engine plus the batch/reference speedup.
+
+Two entry points:
+
+* **pytest-benchmark** -- ``pytest benchmarks/bench_engines.py`` times both
+  engines and enforces the >=10x speedup floor the batch engine promises on
+  this scenario.
+* **standalone JSON recorder** -- ``python benchmarks/bench_engines.py
+  --out BENCH_<date>.json`` writes a machine-readable record; ``--check
+  <baseline.json>`` additionally compares batch throughput against a prior
+  record and exits non-zero on a >10% regression (CI runs this against the
+  committed ``benchmarks/BENCH_*.json`` baseline).
+
+Scale with ``REPRO_BENCH_TRACE_ACCESSES`` (default 20000).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.experiment import ExperimentConfig, run_simulation
+from repro.traces import load_trace, save_trace
+from repro.workloads.registry import build_workload
+
+ACCESSES = int(os.environ.get("REPRO_BENCH_TRACE_ACCESSES") or 20000)
+CONFIGURATION = "secddr_ctr"
+WORKLOAD = "mcf"
+NUM_CORES = 2
+ROUNDS = 3
+#: The batch engine must beat the reference model by at least this factor on
+#: the streamed scenario (the tentpole acceptance floor).
+SPEEDUP_FLOOR = 10.0
+#: CI gate: batch throughput may not drop more than this vs the baseline.
+REGRESSION_TOLERANCE = 0.10
+
+
+def _experiment() -> ExperimentConfig:
+    return ExperimentConfig(num_accesses=ACCESSES, num_cores=NUM_CORES)
+
+
+def _build_streamed_trace(directory: Path):
+    trace = build_workload(WORKLOAD, num_accesses=ACCESSES, seed=1)
+    store = save_trace(trace, directory / ("%s.trace" % WORKLOAD))
+    return load_trace(store.path)
+
+
+def _assert_parity(reference, batch) -> None:
+    assert batch.total_ipc == reference.total_ipc, "batch engine broke IPC parity"
+    assert batch.memory_stats == reference.memory_stats, "batch engine broke stats parity"
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone mode needs no pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def experiment() -> ExperimentConfig:
+        return _experiment()
+
+    @pytest.fixture(scope="module")
+    def streamed_trace(tmp_path_factory):
+        return _build_streamed_trace(tmp_path_factory.mktemp("engine-trace"))
+
+    def test_engines_agree_exactly(streamed_trace, experiment):
+        reference = run_simulation(streamed_trace, CONFIGURATION, experiment)
+        batch = run_simulation(streamed_trace, CONFIGURATION, experiment, engine="batch")
+        _assert_parity(reference, batch)
+
+    def test_reference_engine(benchmark, streamed_trace, experiment):
+        result = benchmark.pedantic(
+            lambda: run_simulation(streamed_trace, CONFIGURATION, experiment),
+            rounds=ROUNDS, iterations=1,
+        )
+        print("reference: %.0f accesses/s (ipc %.4f)"
+              % (ACCESSES / benchmark.stats.stats.mean, result.total_ipc))
+
+    def test_batch_engine(benchmark, streamed_trace, experiment):
+        result = benchmark.pedantic(
+            lambda: run_simulation(streamed_trace, CONFIGURATION, experiment, engine="batch"),
+            rounds=ROUNDS, iterations=1,
+        )
+        print("batch: %.0f accesses/s (ipc %.4f)"
+              % (ACCESSES / benchmark.stats.stats.mean, result.total_ipc))
+
+    def test_batch_speedup_floor(streamed_trace, experiment):
+        record = _measure(streamed_trace, _experiment())
+        speedup = record["speedup"]
+        print("speedup %.1fx (floor %.0fx)" % (speedup, SPEEDUP_FLOOR))
+        assert speedup >= SPEEDUP_FLOOR, (
+            "batch engine speedup %.1fx is below the %.0fx floor" % (speedup, SPEEDUP_FLOOR)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Standalone recorder / regression gate
+# ---------------------------------------------------------------------------
+def _time_engine(engine, trace, experiment):
+    """(best seconds over ROUNDS, last result) for one engine."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = run_simulation(trace, CONFIGURATION, experiment, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _measure(trace, experiment) -> dict:
+    reference_seconds, reference = _time_engine("reference", trace, experiment)
+    batch_seconds, batch = _time_engine("batch", trace, experiment)
+    _assert_parity(reference, batch)
+    return {
+        "scenario": {
+            "workload": WORKLOAD,
+            "configuration": CONFIGURATION,
+            "accesses": ACCESSES,
+            "cores": NUM_CORES,
+            "streamed": True,
+            "rounds": ROUNDS,
+        },
+        "engines": {
+            "reference": {
+                "seconds": round(reference_seconds, 4),
+                "accesses_per_second": round(ACCESSES / reference_seconds, 1),
+            },
+            "batch": {
+                "seconds": round(batch_seconds, 4),
+                "accesses_per_second": round(ACCESSES / batch_seconds, 1),
+            },
+        },
+        "speedup": round(reference_seconds / batch_seconds, 2),
+        "parity": "exact",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def _check_regression(record: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    old = baseline["engines"]["batch"]["accesses_per_second"]
+    new = record["engines"]["batch"]["accesses_per_second"]
+    change = (new - old) / old
+    print("batch throughput: baseline %.0f acc/s -> %.0f acc/s (%+.1f%%) [%s]"
+          % (old, new, 100.0 * change, baseline_path))
+    if change < -REGRESSION_TOLERANCE:
+        print("FAIL: batch engine throughput regressed more than %.0f%%"
+              % (100.0 * REGRESSION_TOLERANCE), file=sys.stderr)
+        return 1
+    return 0
+
+
+def default_baseline() -> "Path | None":
+    """The newest committed ``benchmarks/BENCH_*.json``, if any."""
+    records = sorted(glob.glob(str(Path(__file__).parent / "BENCH_*.json")))
+    return Path(records[-1]) if records else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON record to FILE")
+    parser.add_argument("--check", nargs="?", const="auto", default=None, metavar="BASELINE",
+                        help="fail on a >%.0f%%%% batch-throughput regression vs "
+                        "BASELINE (default: the newest committed benchmarks/BENCH_*.json; "
+                        "a no-op when none exists yet)" % (100 * REGRESSION_TOLERANCE))
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-engines-") as tmp:
+        trace = _build_streamed_trace(Path(tmp))
+        record = _measure(trace, _experiment())
+
+    print(json.dumps(record, indent=2))
+    print("speedup: %.1fx (parity exact)" % record["speedup"])
+    if args.out:
+        Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+        print("wrote %s" % args.out)
+
+    if args.check is not None:
+        baseline = default_baseline() if args.check == "auto" else Path(args.check)
+        if baseline is None or not baseline.exists():
+            print("no baseline record found; skipping the regression gate")
+        elif args.out and baseline.resolve() == Path(args.out).resolve():
+            print("baseline is this run's own output; skipping the regression gate")
+        else:
+            return _check_regression(record, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,14 @@ def test_stream_vs_memory_results_identical(in_memory_trace, streamed_trace, exp
     assert streamed.memory_stats == baseline.memory_stats
 
 
+def test_batch_engine_parity_on_both_paths(in_memory_trace, streamed_trace, experiment):
+    reference = run_simulation(in_memory_trace, CONFIGURATION, experiment)
+    for trace in (in_memory_trace, streamed_trace):
+        batch = run_simulation(trace, CONFIGURATION, experiment, engine="batch")
+        assert batch.total_ipc == reference.total_ipc
+        assert batch.memory_stats == reference.memory_stats
+
+
 def test_simulate_in_memory(benchmark, in_memory_trace, experiment):
     result = benchmark.pedantic(
         lambda: run_simulation(in_memory_trace, CONFIGURATION, experiment),
@@ -73,6 +81,22 @@ def test_simulate_in_memory(benchmark, in_memory_trace, experiment):
 def test_simulate_streamed(benchmark, streamed_trace, experiment):
     result = benchmark.pedantic(
         lambda: run_simulation(streamed_trace, CONFIGURATION, experiment),
+        rounds=3, iterations=1,
+    )
+    _throughput(benchmark, result.total_ipc)
+
+
+def test_simulate_in_memory_batch_engine(benchmark, in_memory_trace, experiment):
+    result = benchmark.pedantic(
+        lambda: run_simulation(in_memory_trace, CONFIGURATION, experiment, engine="batch"),
+        rounds=3, iterations=1,
+    )
+    _throughput(benchmark, result.total_ipc)
+
+
+def test_simulate_streamed_batch_engine(benchmark, streamed_trace, experiment):
+    result = benchmark.pedantic(
+        lambda: run_simulation(streamed_trace, CONFIGURATION, experiment, engine="batch"),
         rounds=3, iterations=1,
     )
     _throughput(benchmark, result.total_ipc)

@@ -19,6 +19,7 @@ from repro.secure.integrity_tree import TreeGeometry, hash_merkle_tree_geometry
 
 if TYPE_CHECKING:  # pragma: no cover - keeps repro.analysis import light
     from repro.secure.configs import ConfigurationLike
+    from repro.sim.engines import EngineLike
     from repro.sim.experiment import ExperimentConfig
     from repro.sim.runner import ProgressHook, ResultCache
 
@@ -144,6 +145,7 @@ def measured_protection_overheads(
     cache: "Optional[ResultCache]" = None,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: "Optional[ProgressHook]" = None,
+    engine: "Optional[EngineLike]" = None,
 ) -> Dict[str, float]:
     """Empirical companion to the analytic sweep, run through the job runner.
 
@@ -165,5 +167,6 @@ def measured_protection_overheads(
         cache=cache,
         cache_dir=cache_dir,
         progress=progress,
+        engine=engine,
     )
     return {config: comparison.gmean(config) for config in comparison.configurations}

@@ -49,6 +49,7 @@ from repro.secure.configs import (
     SystemConfiguration,
 )
 from repro.secure.configs import REGISTRY as CONFIGURATION_REGISTRY
+from repro.sim.engines import EngineLike, resolve_engine
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.results import ComparisonResult, SimulationResult
 from repro.sim.runner import (
@@ -87,12 +88,16 @@ class Session:
         experiment: Optional[ExperimentConfig] = None,
         baseline: ConfigurationLike = "tdx_baseline",
         progress: Optional[ProgressHook] = None,
+        engine: Optional[EngineLike] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = resolve_cache(cache, cache_dir)
         self.experiment = experiment or ExperimentConfig()
         self.baseline = baseline
         self.progress = progress
+        # Validates engine names eagerly (closest-match error on typos);
+        # None keeps the library default.
+        self.engine = engine if engine is None else resolve_engine(engine)
         self._configs: List[ConfigurationLike] = []
         self._workloads: List[WorkloadLike] = []
 
@@ -128,6 +133,17 @@ class Session:
 
     def with_baseline(self, baseline: ConfigurationLike) -> "Session":
         self.baseline = baseline
+        return self
+
+    def with_engine(self, engine: Optional[EngineLike]) -> "Session":
+        """Select the simulation engine for every run this session executes.
+
+        ``"reference"`` is the per-access object model, ``"batch"`` the
+        vectorized chunk engine (bit-identical results, roughly an order of
+        magnitude faster); ``None`` restores the library default.  Unknown
+        names raise :class:`~repro.errors.UnknownEngineError` immediately.
+        """
+        self.engine = engine if engine is None else resolve_engine(engine)
         return self
 
     # -- composition ---------------------------------------------------
@@ -232,7 +248,10 @@ class Session:
         runs (and pairs already simulated by a comparison) are free.
         """
         job = SimulationJob(
-            configuration=configuration, workload=workload, experiment=self.experiment
+            configuration=configuration,
+            workload=workload,
+            experiment=self.experiment,
+            engine=self.engine,
         )
         runner = ParallelRunner(jobs=1, cache=self.cache, progress=self.progress)
         return runner.run([job])[0]
@@ -241,8 +260,12 @@ class Session:
         self,
         configurations: Optional[Iterable[ConfigurationLike]] = None,
         workloads: Optional[Iterable[WorkloadLike]] = None,
+        engine: Optional[EngineLike] = None,
     ) -> ComparisonResult:
-        """Run the selected cross product, normalized to the session baseline."""
+        """Run the selected cross product, normalized to the session baseline.
+
+        ``engine`` overrides the session engine for this comparison only.
+        """
         config_list = list(configurations) if configurations is not None else self._configs
         workload_list = list(workloads) if workloads is not None else self._workloads
         if not config_list:
@@ -257,6 +280,7 @@ class Session:
             jobs=self.jobs,
             cache=self.cache,
             progress=self.progress,
+            engine=engine if engine is not None else self.engine,
         )
 
     def arity_sweep(self, arities: Iterable[int] = (8, 64, 128)) -> Dict[int, Dict[str, float]]:
@@ -274,6 +298,7 @@ class Session:
             jobs=self.jobs,
             cache=self.cache,
             progress=self.progress,
+            engine=self.engine,
         )
 
     def counter_packing_sweep(
@@ -288,6 +313,7 @@ class Session:
             jobs=self.jobs,
             cache=self.cache,
             progress=self.progress,
+            engine=self.engine,
         )
 
     def fuzz(

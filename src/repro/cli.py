@@ -50,6 +50,7 @@ the detection matrix, and writes a JSONL corpus plus artifacts.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import tempfile
@@ -60,7 +61,11 @@ from repro.analysis.scalability import scalability_sweep
 from repro.analysis.security_math import SecurityAnalysis
 from repro.attacks.campaign import AttackCampaign, run_standard_campaign
 from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
-from repro.errors import AmbiguousConfigurationError, RegistryLookupError
+from repro.errors import (
+    AmbiguousConfigurationError,
+    RegistryLookupError,
+    UnknownOverrideError,
+)
 from repro.figures import FIGURES, figure_names, write_artifacts
 from repro.figures import reproduce as reproduce_figures
 from repro.secure.configs import (
@@ -71,6 +76,7 @@ from repro.secure.configs import (
     resolve_configuration,
 )
 from repro.secure.encryption import EncryptionMode
+from repro.sim.engines import ENGINES, BatchEngineUnsupported, resolve_engine
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.runner import JobEvent, ProgressHook, ResultCache
 from repro.sim.sweep import arity_sweep, counter_packing_sweep
@@ -158,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
     _add_seed_argument(compare)
     _add_set_argument(compare)
+    _add_engine_argument(compare)
     _add_runner_arguments(compare)
 
     sweep = subparsers.add_parser(
@@ -178,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-n", "--cores", type=int, default=2, help="number of simulated cores")
     _add_seed_argument(sweep)
     _add_set_argument(sweep)
+    _add_engine_argument(sweep)
     _add_runner_arguments(sweep)
 
     reproduce = subparsers.add_parser(
@@ -213,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit with status 1 if any expected-trend check fails",
     )
     _add_seed_argument(reproduce)
+    _add_engine_argument(reproduce)
     _add_runner_arguments(
         reproduce,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
@@ -388,8 +397,19 @@ def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
         help="override a SystemConfiguration field on every evaluated configuration "
-        "(repeatable), e.g. --set tree_arity=32 --set timing=ddr5_4800; the "
-        "normalization baseline keeps its canonical parameters",
+        "or an ExperimentConfig field on the whole run (repeatable), e.g. "
+        "--set tree_arity=32 --set timing=ddr5_4800 --set rob_entries=128; "
+        "the normalization baseline keeps its canonical parameters; unknown "
+        "fields are rejected with a closest-match suggestion",
+    )
+
+
+def _add_engine_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--engine", default=None, metavar="NAME",
+        help="simulation engine: 'reference' (default; the per-access object "
+        "model) or 'batch' (vectorized, bit-identical results, ~10x faster); "
+        "run 'repro list' for the engine registry",
     )
 
 
@@ -469,6 +489,13 @@ def _field_types() -> Dict[str, str]:
     return {f.name: str(f.type) for f in fields(SystemConfiguration)}
 
 
+def _experiment_field_types() -> Dict[str, str]:
+    """Field name -> annotation string of ``ExperimentConfig``."""
+    from dataclasses import fields
+
+    return {f.name: str(f.type) for f in fields(ExperimentConfig)}
+
+
 def _coerce_override(key: str, annotation: str, raw: str) -> object:
     """Parse one ``--set`` value into the field's Python type."""
     if annotation == "EncryptionMode":
@@ -498,26 +525,46 @@ def _coerce_override(key: str, annotation: str, raw: str) -> object:
             return int(raw)
         except ValueError:
             raise OverrideError("%s must be an integer, got %r" % (key, raw)) from None
+    if annotation == "float":
+        try:
+            return float(raw)
+        except ValueError:
+            raise OverrideError("%s must be a number, got %r" % (key, raw)) from None
     # Remaining fields (name, description, mechanism, figure) are strings.
     return raw
 
 
-def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
-    """Parse ``--set key=value`` pairs into ``derive()`` keyword overrides."""
-    field_types = _field_types()
-    overrides: Dict[str, object] = {}
+def _parse_overrides(pairs: List[str]) -> "Tuple[Dict[str, object], Dict[str, object]]":
+    """Split ``--set key=value`` pairs into (configuration, experiment) overrides.
+
+    Keys are resolved against ``SystemConfiguration`` first (they become
+    ``derive()`` keywords applied to every evaluated configuration) and
+    against ``ExperimentConfig`` second (they replace fields on the run's
+    shared experiment budget).  A key found in neither raises
+    :class:`~repro.errors.UnknownOverrideError`, which carries the full
+    valid-field vocabulary and a closest-match suggestion — the same error
+    shape unknown configuration/workload/engine names produce.
+    """
+    spec_types = _field_types()
+    experiment_types = _experiment_field_types()
+    spec_overrides: Dict[str, object] = {}
+    experiment_overrides: Dict[str, object] = {}
     for pair in pairs:
         key, separator, raw = pair.partition("=")
         key = key.strip()
         if not separator or not key:
             raise OverrideError("--set expects KEY=VALUE, got %r" % pair)
-        if key not in field_types:
-            raise OverrideError(
-                "unknown configuration field %r; valid fields: %s"
-                % (key, ", ".join(sorted(field_types)))
+        if key in spec_types:
+            spec_overrides[key] = _coerce_override(key, spec_types[key], raw.strip())
+        elif key in experiment_types:
+            experiment_overrides[key] = _coerce_override(
+                key, experiment_types[key], raw.strip()
             )
-        overrides[key] = _coerce_override(key, field_types[key], raw.strip())
-    return overrides
+        else:
+            raise UnknownOverrideError(
+                key, sorted(spec_types) + sorted(experiment_types)
+            )
+    return spec_overrides, experiment_overrides
 
 
 def _derived_configurations(
@@ -560,6 +607,16 @@ def _cmd_list() -> int:
         spec = FIGURES[key]
         print("%-16s %-28s %-10s %s" % (
             key, spec.paper_ref, "yes" if spec.simulated else "no", spec.description,
+        ))
+    print()
+    print("Engine registry (%d entries; select with --engine or engine=)" % len(ENGINES))
+    print("%-12s %-11s %-16s %s" % ("name", "vectorized", "parity-verified", "description"))
+    for engine in ENGINES:
+        print("%-12s %-11s %-16s %s" % (
+            engine.name,
+            "yes" if engine.vectorized else "no",
+            "yes" if engine.parity_verified else "no",
+            engine.description,
         ))
     print()
     _print_attack_registry()
@@ -665,13 +722,13 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    experiment = ExperimentConfig(
-        num_accesses=args.accesses, num_cores=args.cores, seed=args.seed
+    spec_overrides, experiment_overrides = _parse_overrides(args.overrides)
+    experiment = dataclasses.replace(
+        ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores, seed=args.seed),
+        **experiment_overrides,
     )
     cache = _build_cache(args)
-    configurations = _derived_configurations(
-        _split(args.configurations), _parse_overrides(args.overrides)
-    )
+    configurations = _derived_configurations(_split(args.configurations), spec_overrides)
     workloads = _resolve_workload_tokens(_split(args.workloads))
     streamed = [w for w in workloads if not isinstance(w, str)]
     if streamed:
@@ -689,6 +746,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         progress=_build_progress(args),
+        engine=args.engine,
     )
     print(comparison.format_table())
     print()
@@ -732,7 +790,7 @@ def _run_sweep_command(
         print("error: arity must be >= 2, got %s" % ", ".join(map(str, invalid)),
               file=sys.stderr)
         return 2
-    sweep_overrides = _parse_overrides(args.overrides)
+    sweep_overrides, experiment_overrides = _parse_overrides(args.overrides)
     blocked = sorted({"name", "tree_arity", "counters_per_line"} & set(sweep_overrides))
     if blocked:
         raise OverrideError(
@@ -740,6 +798,7 @@ def _run_sweep_command(
             "arity/packing itself, and every spec in a sweep group must keep "
             "its own name" % ", ".join(blocked)
         )
+    experiment = dataclasses.replace(experiment, **experiment_overrides)
     common = dict(
         workloads=workloads,
         experiment=experiment,
@@ -748,6 +807,7 @@ def _run_sweep_command(
         cache=cache,
         progress=_build_progress(args),
         derive_overrides=sweep_overrides,
+        engine=args.engine,
     )
     arity = arity_sweep(arities=arities, **common)
     packing = counter_packing_sweep(packings=arities, **common)
@@ -767,6 +827,7 @@ def _run_sweep_command(
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    resolve_engine(args.engine)  # unknown --engine fails before any directory is made
     accesses, cores = args.accesses, args.cores
     workloads = _split(args.workloads)
     if args.smoke:
@@ -790,6 +851,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         cache=cache,
         progress=_build_progress(args),
         workload_filter=workloads or None,
+        engine=args.engine,
     )
     paths = write_artifacts(report, args.out)
 
@@ -985,6 +1047,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         RegistryLookupError,
         OverrideError,
         AmbiguousConfigurationError,
+        BatchEngineUnsupported,
         TraceFormatError,
         TraceImportError,
     ) as error:

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DecodedAddress", "AddressMapping"]
+import numpy as np
+
+__all__ = ["DecodedAddress", "DecodedArrays", "AddressMapping"]
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -36,6 +38,25 @@ class DecodedAddress:
     def bank_key(self) -> tuple:
         """Unique key for the (channel, rank, bank-group, bank) tuple."""
         return (self.channel, self.rank, self.bank_group, self.bank)
+
+
+@dataclass(frozen=True)
+class DecodedArrays:
+    """Column-oriented decode of a whole address array (one array per field).
+
+    Produced by :meth:`AddressMapping.decode_arrays`; element ``i`` of every
+    column equals the corresponding field of ``decode(addresses[i])``.
+    """
+
+    channel: np.ndarray
+    rank: np.ndarray
+    bank_group: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    column: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.row)
 
 
 class AddressMapping:
@@ -152,6 +173,50 @@ class AddressMapping:
             row=row,
             column=column,
         )
+
+    def decode_arrays(self, addresses: np.ndarray) -> DecodedArrays:
+        """Vectorized :meth:`decode` over a whole numpy address array.
+
+        Returns one int64 column per DRAM coordinate; the batch simulation
+        engine uses this to decode a full trace chunk in a handful of numpy
+        operations instead of one ``DecodedAddress`` object per access.
+        """
+        bits = np.asarray(addresses, dtype=np.int64) >> self._offset_bits
+        columns = []
+        for width in (
+            self._channel_bits,
+            self._bank_group_bits,
+            self._bank_bits,
+            self._column_bits,
+            self._rank_bits,
+            self._row_bits,
+        ):
+            if width:
+                columns.append(bits & ((1 << width) - 1))
+                bits = bits >> width
+            else:
+                columns.append(np.zeros(len(bits), dtype=np.int64))
+        channel, bank_group, bank, column, rank, row = columns
+        return DecodedArrays(
+            channel=channel,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+
+    def flat_bank_arrays(self, decoded: DecodedArrays) -> np.ndarray:
+        """Collapse decoded coordinates into a flat per-channel bank index.
+
+        ``(rank * bank_groups + bank_group) * banks_per_group + bank`` — the
+        layout the batch engine uses for its flat bank-state tables.  The
+        channel column is deliberately ignored: the controller owns a single
+        channel, matching the reference model.
+        """
+        return (
+            decoded.rank * self.bank_groups + decoded.bank_group
+        ) * self.banks_per_group + decoded.bank
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Reconstruct the line-aligned physical address (inverse of decode)."""

@@ -19,6 +19,8 @@ __all__ = [
     "UnknownWorkloadError",
     "UnknownMechanismError",
     "UnknownFigureError",
+    "UnknownEngineError",
+    "UnknownOverrideError",
     "UnknownAttackConfigurationError",
     "AmbiguousConfigurationError",
 ]
@@ -93,6 +95,18 @@ class UnknownFigureError(RegistryLookupError):
     """No paper figure/table spec is registered under this key."""
 
     kind = "figure"
+
+
+class UnknownEngineError(RegistryLookupError):
+    """No simulation engine is registered under this name."""
+
+    kind = "engine"
+
+
+class UnknownOverrideError(RegistryLookupError):
+    """A ``--set`` override names a field no config dataclass has."""
+
+    kind = "override field"
 
 
 class UnknownAttackConfigurationError(RegistryLookupError):

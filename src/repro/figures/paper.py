@@ -174,7 +174,10 @@ def _table2_build(ctx: FigureContext) -> FigureArtifact:
 # ----------------------------------------------------------------------
 # Figure 6: headline normalized performance.
 def _fig6_jobs(ctx: FigureContext) -> List[SimulationJob]:
-    return comparison_jobs(FIG6_CONFIGURATIONS, ctx.all_workloads(), ctx.experiment, BASELINE)
+    return comparison_jobs(
+        FIG6_CONFIGURATIONS, ctx.all_workloads(),
+        baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
+    )
 
 
 def _fig6_build(ctx: FigureContext) -> FigureArtifact:
@@ -261,13 +264,15 @@ def _fig8_jobs(ctx: FigureContext) -> List[SimulationJob]:
     workloads = ctx.memory_intensive()
     for arity in FIG8_POINTS:
         jobs += comparison_jobs(
-            list(arity_group(arity).values()), workloads, ctx.experiment, BASELINE
+            list(arity_group(arity).values()), workloads,
+            baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
         )
     for packing in FIG8_POINTS:
         # The packing groups reuse the arity groups' SecDDR / encrypt-only
         # configurations, so these jobs dedup against the ones above.
         jobs += comparison_jobs(
-            list(packing_group(packing).values()), workloads, ctx.experiment, BASELINE
+            list(packing_group(packing).values()), workloads,
+            baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
         )
     return jobs
 
@@ -375,7 +380,10 @@ def _invisimem_artifact(
 
 
 def _fig10_jobs(ctx: FigureContext) -> List[SimulationJob]:
-    return comparison_jobs(FIG10_CONFIGURATIONS, ctx.all_workloads(), ctx.experiment, BASELINE)
+    return comparison_jobs(
+        FIG10_CONFIGURATIONS, ctx.all_workloads(),
+        baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
+    )
 
 
 def _fig10_build(ctx: FigureContext) -> FigureArtifact:
@@ -391,7 +399,10 @@ def _fig10_build(ctx: FigureContext) -> FigureArtifact:
 
 
 def _fig12_jobs(ctx: FigureContext) -> List[SimulationJob]:
-    return comparison_jobs(FIG12_CONFIGURATIONS, ctx.all_workloads(), ctx.experiment, BASELINE)
+    return comparison_jobs(
+        FIG12_CONFIGURATIONS, ctx.all_workloads(),
+        baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
+    )
 
 
 def _fig12_build(ctx: FigureContext) -> FigureArtifact:
@@ -514,8 +525,9 @@ def _scalability_jobs(ctx: FigureContext) -> List[SimulationJob]:
     return comparison_jobs(
         list(SCALABILITY_MEASURED_CONFIGURATIONS),
         list(SCALABILITY_MEASURED_WORKLOADS),
-        ctx.experiment,
-        BASELINE,
+        baseline=BASELINE,
+        experiment=ctx.experiment,
+        engine=ctx.engine,
     )
 
 
@@ -582,8 +594,9 @@ def _ablation_cache_jobs(ctx: FigureContext) -> List[SimulationJob]:
         jobs += comparison_jobs(
             list(ABLATION_CACHE_CONFIGURATIONS),
             list(ABLATION_CACHE_WORKLOADS),
-            experiment,
-            BASELINE,
+            baseline=BASELINE,
+            experiment=experiment,
+            engine=ctx.engine,
         )
     return jobs
 
@@ -640,10 +653,11 @@ ABLATION_BURST_WORKLOADS = ("lbm", "roms", "fotonik3d", "bwaves", "mcf")
 def _ablation_burst_jobs(ctx: FigureContext) -> List[SimulationJob]:
     workloads = list(ABLATION_BURST_WORKLOADS)
     return comparison_jobs(
-        ["secddr_xts", "encrypt_only_xts"], workloads, ctx.experiment, BASELINE
+        ["secddr_xts", "encrypt_only_xts"], workloads,
+        baseline=BASELINE, experiment=ctx.experiment, engine=ctx.engine,
     ) + comparison_jobs(
-        ["secddr_xts_ddr5", "encrypt_only_xts_ddr5"], workloads, ctx.experiment,
-        "tdx_baseline_ddr5",
+        ["secddr_xts_ddr5", "encrypt_only_xts_ddr5"], workloads,
+        baseline="tdx_baseline_ddr5", experiment=ctx.experiment, engine=ctx.engine,
     )
 
 

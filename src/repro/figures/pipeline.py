@@ -108,8 +108,15 @@ def reproduce(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
     workload_filter: Optional[List[str]] = None,
+    engine: Optional[str] = None,
 ) -> ReproductionReport:
-    """Reproduce the selected figures (default: all) in one cached pass."""
+    """Reproduce the selected figures (default: all) in one cached pass.
+
+    ``engine`` selects the simulation engine for every job in the pass (see
+    :mod:`repro.sim.engines`); parity-verified engines share cache keys, so
+    a pass run on the batch engine warms exactly the entries a later
+    reference pass would read.
+    """
     specs = resolve_figures(list(figures) if figures is not None else None)
     started = time.perf_counter()
     cache = resolve_cache(cache, cache_dir)
@@ -126,6 +133,7 @@ def reproduce(
         jobs=jobs,
         progress=progress,
         workload_filter=list(workload_filter) if workload_filter else None,
+        engine=engine,
     )
     try:
         unique = collect_jobs(specs, ctx)

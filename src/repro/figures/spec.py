@@ -21,11 +21,13 @@ registered specs, so a figure's definition lives in exactly one place.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cpu.trace import MemoryTrace
 from repro.secure.configs import ConfigurationLike, resolve_configuration
+from repro.sim.engines import EngineLike
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.runner import ProgressHook, ResultCache, SimulationJob
 from repro.traces.streaming import ChunkedTrace
@@ -148,6 +150,10 @@ class FigureContext:
     cache: Optional[ResultCache] = None
     jobs: int = 1
     progress: Optional[ProgressHook] = None
+    #: Simulation engine used by every job in the pass (None = default).
+    #: Parity-verified engines share cache keys, so a pass run with the
+    #: batch engine warms the same cache entries the reference pass reads.
+    engine: Optional[EngineLike] = None
     #: Optional workload restriction (e.g. CI smoke runs): replaces the
     #: "all workloads" / "memory intensive" sets a spec would otherwise use.
     #: Entries may be registry names or pre-built trace values (streamed
@@ -168,7 +174,12 @@ class FigureContext:
 
     def runner_kwargs(self) -> Dict[str, object]:
         """Keyword arguments wiring ``run_comparison`` onto the shared runner."""
-        return {"jobs": self.jobs, "cache": self.cache, "progress": self.progress}
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "progress": self.progress,
+            "engine": self.engine,
+        }
 
     def experiment_with(self, **overrides) -> ExperimentConfig:
         """The shared budget with some fields replaced (ablation sweeps)."""
@@ -209,21 +220,50 @@ class FigureSpec:
 def comparison_jobs(
     configurations: Sequence[ConfigurationLike],
     workloads: Sequence[WorkloadLike],
-    experiment: ExperimentConfig,
     baseline: ConfigurationLike = "tdx_baseline",
+    experiment: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineLike] = None,
 ) -> List[SimulationJob]:
     """The job matrix behind ``run_comparison`` for the same arguments.
+
+    The signature mirrors :func:`repro.sim.experiment.run_comparison`
+    (``configurations, workloads, baseline=..., experiment=...,
+    engine=...``), so the two call vocabularies stay interchangeable.  The
+    historical order put ``experiment`` third (positionally); that spelling
+    still works under a :class:`DeprecationWarning`.
 
     Mirrors the runner's matrix construction: the baseline is prepended
     unless a configuration with its name is already selected, and each
     (workload, configuration) pair becomes one self-contained job.
     """
+    if isinstance(baseline, ExperimentConfig):
+        # Legacy call order: comparison_jobs(configs, workloads, experiment
+        # [, baseline]).  Detectable unambiguously -- a baseline is a name or
+        # a SystemConfiguration, never an ExperimentConfig.
+        warnings.warn(
+            "comparison_jobs(configurations, workloads, experiment, baseline) "
+            "is deprecated; the canonical order is comparison_jobs("
+            "configurations, workloads, baseline=..., experiment=...) "
+            "matching run_comparison",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        baseline, experiment = (
+            experiment if experiment is not None else "tdx_baseline",
+            baseline,
+        )
+    experiment = experiment or ExperimentConfig()
     config_list = list(configurations)
     names = {c if isinstance(c, str) else c.name for c in config_list}
     if resolve_configuration(baseline).name not in names:
         config_list = [baseline] + config_list
     return [
-        SimulationJob(configuration=config, workload=workload, experiment=experiment)
+        SimulationJob(
+            configuration=config,
+            workload=workload,
+            experiment=experiment,
+            engine=engine,
+        )
         for workload in workloads
         for config in config_list
     ]

@@ -11,6 +11,18 @@ memory-intensive workloads).
 
 from repro.sim.stats import geometric_mean, normalize, summarize
 from repro.sim.results import SimulationResult, ComparisonResult
+from repro.sim.engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BatchEngine,
+    BatchEngineUnsupported,
+    Engine,
+    EngineRegistry,
+    ReferenceEngine,
+    engine_names,
+    register_engine,
+    resolve_engine,
+)
 from repro.sim.runner import (
     JobEvent,
     ParallelRunner,
@@ -31,6 +43,16 @@ __all__ = [
     "summarize",
     "SimulationResult",
     "ComparisonResult",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "Engine",
+    "EngineRegistry",
+    "ReferenceEngine",
+    "BatchEngine",
+    "BatchEngineUnsupported",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
     "JobEvent",
     "ParallelRunner",
     "ResultCache",

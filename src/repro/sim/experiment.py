@@ -14,20 +14,16 @@ names or pre-built :class:`MemoryTrace` instances.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.cpu.core import CoreConfig
-from repro.cpu.system import System, SystemConfig
 from repro.cpu.trace import MemoryTrace
 from repro.errors import AmbiguousConfigurationError
-from repro.secure.configs import (
-    ConfigurationLike,
-    build_configuration,
-    resolve_configuration,
-)
+from repro.secure.configs import ConfigurationLike, resolve_configuration
+from repro.sim.engines import EngineLike, resolve_engine
 from repro.sim.results import ComparisonResult, SimulationResult
 from repro.sim.runner import (
     ParallelRunner,
@@ -92,6 +88,7 @@ def run_simulation(
     workload: Union[str, MemoryTrace],
     configuration: ConfigurationLike,
     experiment: Optional[ExperimentConfig] = None,
+    engine: Optional[EngineLike] = None,
 ) -> SimulationResult:
     """Simulate ``workload`` under secure-memory ``configuration``.
 
@@ -100,55 +97,39 @@ def run_simulation(
     comes from the configuration (1600 MHz, or 1200 MHz for the realistic
     InvisiMem variants), so frequency-derating effects are captured
     automatically.
+
+    ``engine`` selects the executor: ``"reference"`` (the default; the
+    per-access object model) or ``"batch"`` (the vectorized chunk engine,
+    bit-identical results at a fraction of the runtime), or any
+    :class:`~repro.sim.engines.Engine` registered via
+    :func:`~repro.sim.engines.register_engine`.
     """
     experiment = experiment or ExperimentConfig()
+    resolved_engine = resolve_engine(engine)
     trace = _resolve_workload(workload, experiment)
     spec = resolve_configuration(configuration)
-    memory = build_configuration(
-        spec, metadata_cache_bytes=experiment.metadata_cache_bytes
-    )
-    core_config = CoreConfig(
-        issue_width=experiment.issue_width,
-        rob_entries=experiment.rob_entries,
-        mshr_entries=experiment.mshr_entries,
-        cpu_freq_mhz=experiment.cpu_freq_mhz,
-        dram_freq_mhz=spec.timing.freq_mhz,
-    )
-    system = System(
-        workload=trace,
-        memory=memory,
-        config=SystemConfig(
-            num_cores=experiment.num_cores,
-            core=core_config,
-            enable_prefetcher=experiment.enable_prefetcher,
-        ),
-    )
-    result = system.run()
-    memory.note_instructions(result.total_instructions)
-    memory.finish()
-    stats = memory.collect_stats()
-    return SimulationResult(
-        workload=trace.name,
-        configuration=spec.name,
-        total_ipc=result.total_ipc,
-        total_instructions=result.total_instructions,
-        total_cycles=result.total_cycles,
-        average_read_latency_cycles=result.average_read_latency,
-        memory_stats=stats,
-    )
+    return resolved_engine.simulate(trace, spec, experiment)
 
 
 def run_comparison(
-    configurations: Iterable[ConfigurationLike],
-    workloads: Iterable[Union[str, MemoryTrace]],
+    configurations: Optional[Iterable[ConfigurationLike]] = None,
+    workloads: Optional[Iterable[Union[str, MemoryTrace]]] = None,
     baseline: ConfigurationLike = "tdx_baseline",
     experiment: Optional[ExperimentConfig] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
+    engine: Optional[EngineLike] = None,
+    configs: Optional[Iterable[ConfigurationLike]] = None,
 ) -> ComparisonResult:
     """Run every configuration over every workload and normalize to ``baseline``.
+
+    This is the canonical comparison signature (mirrored by
+    :meth:`repro.api.Session.compare` and documented in
+    ``docs/architecture.md``): ``(configurations, workloads, baseline=...,
+    experiment=..., jobs=..., cache=..., cache_dir=..., progress=...,
+    engine=...)``.
 
     Configurations (and the baseline) may be registry names or
     ``SystemConfiguration`` values.  ``jobs`` fans the (workload,
@@ -156,8 +137,27 @@ def run_comparison(
     identical to the serial path because every job is deterministic and
     self-contained.  Passing ``cache`` (or a ``cache_dir`` to build one
     from) reuses previously simulated pairs from disk, so one warm cache
-    serves repeated comparisons and sweeps.
+    serves repeated comparisons and sweeps.  ``engine`` selects the
+    simulation engine for every job (see :func:`run_simulation`).
+
+    ``configs`` is a deprecated alias for ``configurations``.
     """
+    if configs is not None:
+        if configurations is not None:
+            raise TypeError(
+                "pass either configurations= or the deprecated configs= alias, not both"
+            )
+        warnings.warn(
+            "the configs= keyword is deprecated; use configurations= "
+            "(the canonical comparison signature shared with Session.compare)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        configurations = configs
+    if configurations is None:
+        raise TypeError("run_comparison() missing required argument: 'configurations'")
+    if workloads is None:
+        raise TypeError("run_comparison() missing required argument: 'workloads'")
     experiment = experiment or ExperimentConfig()
     cache = resolve_cache(cache, cache_dir)
     config_list = list(configurations)
@@ -193,7 +193,7 @@ def run_comparison(
 
     runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
     results: Dict[str, Dict[str, SimulationResult]] = runner.run_matrix(
-        config_list, workload_list, experiment
+        config_list, workload_list, experiment, engine=engine
     )
     raw: Dict[str, Dict[str, float]] = {
         config: {workload: result.total_ipc for workload, result in per_workload.items()}

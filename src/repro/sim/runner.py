@@ -46,6 +46,7 @@ from repro.secure.configs import (
     resolve_configuration,
 )
 from repro.secure.configs import REGISTRY as CONFIGURATION_REGISTRY
+from repro.sim.engines import EngineLike, engine_cache_token
 from repro.sim.results import SimulationResult
 from repro.workloads.registry import REGISTRY as WORKLOAD_REGISTRY
 from repro.workloads.registry import trace_cache_token
@@ -130,6 +131,8 @@ class SimulationJob:
     configuration: ConfigurationLike
     workload: Union[str, MemoryTrace]
     experiment: "ExperimentConfig"
+    #: Engine name (or instance); None selects the default engine.
+    engine: Optional[EngineLike] = None
 
     @property
     def configuration_name(self) -> str:
@@ -171,6 +174,12 @@ class SimulationJob:
             "workload": workload_cache_token(self.workload),
             "experiment": asdict(self.experiment),
         }
+        # Parity-verified engines produce bit-identical results by contract,
+        # so they share cache entries (the token is None and stays out of the
+        # key); any other engine's name discriminates its entries.
+        engine_token = engine_cache_token(self.engine)
+        if engine_token is not None:
+            payload["engine"] = engine_token
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -282,7 +291,9 @@ def _execute_job(job: SimulationJob) -> Tuple[SimulationResult, float]:
     from repro.sim.experiment import run_simulation
 
     started = time.perf_counter()
-    result = run_simulation(job.workload, job.configuration, job.experiment)
+    result = run_simulation(
+        job.workload, job.configuration, job.experiment, engine=job.engine
+    )
     return result, time.perf_counter() - started
 
 
@@ -372,6 +383,7 @@ class ParallelRunner:
         configurations: Sequence[ConfigurationLike],
         workloads: Sequence[Union[str, MemoryTrace]],
         experiment: "ExperimentConfig",
+        engine: Optional[EngineLike] = None,
     ) -> Dict[str, Dict[str, SimulationResult]]:
         """Run the full cross product; returns ``{config name: {workload: result}}``.
 
@@ -409,7 +421,12 @@ class ParallelRunner:
                     "name)" % workload_name
                 )
         job_list = [
-            SimulationJob(configuration=config, workload=workload, experiment=experiment)
+            SimulationJob(
+                configuration=config,
+                workload=workload,
+                experiment=experiment,
+                engine=engine,
+            )
             for workload in workloads
             for config in config_list
         ]

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional, Union
 
 from repro.secure.configs import CONFIGURATIONS, ConfigurationLike
+from repro.sim.engines import EngineLike
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.runner import ProgressHook, ResultCache, resolve_cache
 from repro.workloads.registry import memory_intensive_workloads
@@ -115,6 +116,7 @@ def arity_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
     derive_overrides: Optional[Mapping[str, object]] = None,
+    engine: Optional[EngineLike] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Figure 8: gmean normalized IPC per arity for tree/SecDDR/encrypt-only.
 
@@ -138,6 +140,7 @@ def arity_sweep(
             jobs=jobs,
             cache=cache,
             progress=progress,
+            engine=engine,
         )
         summary[arity] = {
             role: comparison.gmean(config if isinstance(config, str) else config.name)
@@ -156,6 +159,7 @@ def counter_packing_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressHook] = None,
     derive_overrides: Optional[Mapping[str, object]] = None,
+    engine: Optional[EngineLike] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Right half of Figure 8: SecDDR / encrypt-only vs. counters per line.
 
@@ -176,6 +180,7 @@ def counter_packing_sweep(
             jobs=jobs,
             cache=cache,
             progress=progress,
+            engine=engine,
         )
         summary[packing] = {
             role: comparison.gmean(config if isinstance(config, str) else config.name)

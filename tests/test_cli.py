@@ -81,7 +81,21 @@ class TestCommands:
     def test_set_unknown_field_is_a_clean_error(self, capsys):
         assert main(["compare", "-w", "gcc", "--set", "bogus=1"]) == 2
         err = capsys.readouterr().err
-        assert "unknown configuration field 'bogus'" in err
+        assert "unknown override field 'bogus'" in err
+
+    def test_set_unknown_field_suggests_closest_match(self, capsys):
+        # Typos in experiment fields used to be unreachable via --set; now
+        # they are valid targets and misspellings get a suggestion.
+        assert main(["compare", "-w", "gcc", "--set", "num_acesses=10"]) == 2
+        err = capsys.readouterr().err
+        assert "closest match: 'num_accesses'" in err
+
+    def test_set_experiment_field_overrides_the_run(self, capsys):
+        assert main([
+            "compare", "-w", "gcc", "-c", "secddr_ctr", "-a", "150", "-n", "1",
+            "--set", "mshr_entries=4", "--set", "enable_prefetcher=false",
+        ]) == 0
+        assert "secddr_ctr" in capsys.readouterr().out
 
     def test_set_malformed_pair_is_a_clean_error(self, capsys):
         assert main(["compare", "-w", "gcc", "--set", "tree_arity"]) == 2
@@ -244,3 +258,49 @@ class TestCommands:
         assert "1024 GiB" in out  # analytic table still printed
         assert "Measured gmean normalized IPC" in out
         assert "secddr_xts" in out
+
+
+class TestEngineFlag:
+    """The --engine flag and the engine registry listing."""
+
+    def test_parser_accepts_engine_on_simulation_commands(self):
+        for command in ("compare", "sweep", "reproduce"):
+            args = build_parser().parse_args([command, "--engine", "batch"])
+            assert args.engine == "batch"
+            assert build_parser().parse_args([command]).engine is None
+
+    def test_list_prints_engine_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Engine registry" in out
+        assert "reference" in out
+        assert "batch" in out
+        assert "parity-verified" in out
+
+    def test_unknown_engine_suggests_closest(self, capsys):
+        assert main(["compare", "-w", "gcc", "--engine", "bacth"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'bacth'" in err
+        assert "closest match: 'batch'" in err
+
+    def test_unknown_engine_on_reproduce_fails_before_writing(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifact"
+        assert main([
+            "reproduce", "--smoke", "--engine", "bogus", "-o", str(out_dir),
+        ]) == 2
+        assert "unknown engine 'bogus'" in capsys.readouterr().err
+        assert not out_dir.exists()
+
+    def test_compare_batch_engine_matches_reference(self, capsys):
+        common = ["compare", "-w", "gcc", "-c", "secddr_ctr", "-a", "150", "-n", "1"]
+        assert main(common) == 0
+        reference_out = capsys.readouterr().out
+        assert main(common + ["--engine", "batch"]) == 0
+        assert capsys.readouterr().out == reference_out
+
+    def test_sweep_accepts_batch_engine(self, capsys):
+        assert main([
+            "sweep", "-w", "mcf", "--arities", "8", "-a", "150", "-n", "1",
+            "--engine", "batch",
+        ]) == 0
+        assert "arity" in capsys.readouterr().out

@@ -18,6 +18,7 @@ README = REPO_ROOT / "README.md"
 DOCS_DIR = REPO_ROOT / "docs"
 REPRODUCING = DOCS_DIR / "reproducing-the-paper.md"
 ARCHITECTURE = DOCS_DIR / "architecture.md"
+ENGINES_DOC = DOCS_DIR / "engines.md"
 
 #: Figure-guide sections look like ``### `fig6` — ...``.
 GUIDE_HEADING = re.compile(r"^### `([a-z0-9_]+)`", re.MULTILINE)
@@ -49,12 +50,33 @@ class TestArchitectureDoc:
 
     @pytest.mark.parametrize("layer", [
         "repro.cpu", "repro.cache", "repro.controller", "repro.dram",
-        "repro.secure", "repro.sim", "repro.figures", "repro.workloads",
-        "repro.core", "repro.crypto", "repro.attacks", "repro.analysis",
-        "repro.fuzz", "repro.traces",
+        "repro.secure", "repro.sim", "repro.sim.engines", "repro.figures",
+        "repro.workloads", "repro.core", "repro.crypto", "repro.attacks",
+        "repro.analysis", "repro.fuzz", "repro.traces",
     ])
     def test_every_layer_is_described(self, layer):
         assert layer in ARCHITECTURE.read_text()
+
+    def test_canonical_comparison_signature_is_documented(self):
+        # The canonical kwargs shared by run_comparison / Session.compare /
+        # comparison_jobs (satellite of the engine API redesign).
+        text = ARCHITECTURE.read_text()
+        assert "configurations" in text and "engine=" in text
+
+
+class TestEnginesDoc:
+    def test_exists(self):
+        assert ENGINES_DOC.is_file()
+
+    def test_documents_every_registered_engine(self):
+        from repro.sim.engines import engine_names
+
+        text = ENGINES_DOC.read_text()
+        for name in engine_names():
+            assert "`%s`" % name in text, "docs/engines.md does not describe %r" % name
+
+    def test_readme_has_a_choosing_an_engine_section(self):
+        assert "Choosing an engine" in README.read_text()
 
 
 class TestCommandDocumentation:
@@ -86,7 +108,7 @@ class TestPackageDocstrings:
         "repro", "repro.analysis", "repro.attacks", "repro.cache",
         "repro.controller", "repro.core", "repro.cpu", "repro.crypto",
         "repro.dram", "repro.figures", "repro.fuzz", "repro.secure",
-        "repro.sim", "repro.traces", "repro.workloads",
+        "repro.sim", "repro.sim.engines", "repro.traces", "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):
         imported = __import__(module, fromlist=["__doc__"])

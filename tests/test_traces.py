@@ -584,7 +584,7 @@ class TestStreamingSimulation:
         view = load_trace(save_trace(small_trace(200), tmp_path / "t").path)
         ctx = FigureContext(experiment=EXPERIMENT, workload_filter=[view, "mcf"])
         assert ctx.all_workloads() == [view, "mcf"]
-        jobs = comparison_jobs(["secddr_ctr"], ctx.all_workloads(), EXPERIMENT)
+        jobs = comparison_jobs(["secddr_ctr"], ctx.all_workloads(), experiment=EXPERIMENT)
         assert {job.workload_name for job in jobs} == {view.name, "mcf"}
         for job in jobs:
             assert job.cache_key()  # streamed entries fingerprint cleanly
