@@ -81,7 +81,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Session",

@@ -38,7 +38,7 @@ travel inside the pickled job itself.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -282,6 +282,47 @@ class Session:
             progress=self.progress,
             engine=engine if engine is not None else self.engine,
         )
+
+    def compare_spec(self, priority: int = 0) -> Dict[str, object]:
+        """The experiment-service job spec equivalent to calling :meth:`compare`.
+
+        Submitting the returned dict to ``POST /jobs`` (or
+        :meth:`repro.server.client.Client.submit`) runs the same comparison
+        the session would run in-process; the service's ``result.json`` is
+        byte-identical to ``dump_payload(self.compare().to_payload())``.
+        Workloads and the baseline must be registry names -- pre-built trace
+        values live in this process and cannot travel in a JSON spec
+        (register them on the server side instead).
+        """
+        from repro.server.schemas import configuration_payload
+
+        if not self._configs or not self._workloads:
+            raise ValueError(
+                "select configurations and workloads first (.configs(...).workloads(...))"
+            )
+        for workload in self._workloads:
+            if not isinstance(workload, str):
+                raise ValueError(
+                    "workload %r is a trace value; job specs carry registry "
+                    "names only" % workload.name
+                )
+        if not isinstance(self.baseline, str):
+            raise ValueError("the baseline must be a registry name in a job spec")
+        spec: Dict[str, object] = {
+            "kind": "compare",
+            "configurations": [
+                config if isinstance(config, str) else configuration_payload(config)
+                for config in self._configs
+            ],
+            "workloads": list(self._workloads),
+            "baseline": self.baseline,
+            "experiment": asdict(self.experiment),
+        }
+        if self.engine is not None:
+            spec["engine"] = self.engine.name
+        if priority:
+            spec["priority"] = int(priority)
+        return spec
 
     def arity_sweep(self, arities: Iterable[int] = (8, 64, 128)) -> Dict[int, Dict[str, float]]:
         """Figure 8 (left): tree/SecDDR/encrypt-only gmean per tree arity.

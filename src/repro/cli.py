@@ -60,22 +60,17 @@ from repro.analysis.power import table2_power_overheads
 from repro.analysis.scalability import scalability_sweep
 from repro.analysis.security_math import SecurityAnalysis
 from repro.attacks.campaign import AttackCampaign, run_standard_campaign
-from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
 from repro.errors import (
     AmbiguousConfigurationError,
     RegistryLookupError,
-    UnknownOverrideError,
 )
 from repro.figures import FIGURES, figure_names, write_artifacts
 from repro.figures import reproduce as reproduce_figures
+from repro.overrides import OverrideError, derived_configurations, parse_overrides
 from repro.secure.configs import (
     CONFIGURATIONS,
-    ConfigurationLike,
-    SystemConfiguration,
     configuration_names,
-    resolve_configuration,
 )
-from repro.secure.encryption import EncryptionMode
 from repro.sim.engines import ENGINES, BatchEngineUnsupported, resolve_engine
 from repro.sim.experiment import ExperimentConfig, run_comparison
 from repro.sim.runner import JobEvent, ProgressHook, ResultCache
@@ -92,13 +87,6 @@ GB = 2**30
 SMOKE_ACCESSES = 240
 SMOKE_CORES = 1
 SMOKE_WORKLOADS = "mcf,pr,gcc"
-
-#: Named timing presets accepted by ``--set timing=...``.
-TIMING_PRESETS = {
-    "ddr4_3200": DDR4_3200,
-    "ddr4_2400": DDR4_2400,
-    "ddr5_4800": DDR5_4800,
-}
 
 #: The documented default workload-generator seed.  It matches
 #: ``ExperimentConfig.seed``, so the CLI default and the library default can
@@ -120,8 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser(
+    list_parser = subparsers.add_parser(
         "list", help="print the configuration, workload, and figure registries as tables"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="print every registry as one JSON document (the same serializer "
+        "the experiment service's GET /registries uses)",
     )
     subparsers.add_parser("configs", help="list the named secure-memory configurations")
     subparsers.add_parser("workloads", help="list the available workloads")
@@ -346,6 +339,31 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign re-executes nothing",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP experiment service (job queue, SSE progress, "
+        "artifact downloads)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port; 0 picks a free one and prints it (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workdir", default="repro-service", metavar="DIR",
+        help="durable service state: jobs/<id>/{job.json,events.jsonl,result.json,"
+        "artifacts/} plus the default cache/ (default: %(default)s)",
+    )
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes per experiment (the queue itself is drained "
+        "one job at a time, so queued jobs share cores and cache)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="shared result-cache directory (default: $REPRO_CACHE_DIR if "
+        "set, otherwise <workdir>/cache)",
+    )
+
     parser.epilog = "commands:\n" + "\n".join(
         "  %-12s %s" % (name, summary) for name, summary in command_summaries(parser)
     ) + "\n\nfigure-by-figure guide: docs/reproducing-the-paper.md"
@@ -470,120 +488,12 @@ def _split(value: str) -> List[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
-class OverrideError(ValueError):
-    """A malformed or unknown ``--set`` override."""
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.server.schemas import dump_payload, registries_payload
 
-
-_BOOL_VALUES = {"true": True, "yes": True, "1": True, "false": False, "no": False, "0": False}
-
-
-def _field_types() -> Dict[str, str]:
-    """Field name -> annotation string of ``SystemConfiguration``.
-
-    Derived from the dataclass itself (annotations are strings under
-    ``from __future__ import annotations``), so new fields get --set support
-    with the right coercion automatically.
-    """
-    from dataclasses import fields
-
-    return {f.name: str(f.type) for f in fields(SystemConfiguration)}
-
-
-def _experiment_field_types() -> Dict[str, str]:
-    """Field name -> annotation string of ``ExperimentConfig``."""
-    from dataclasses import fields
-
-    return {f.name: str(f.type) for f in fields(ExperimentConfig)}
-
-
-def _coerce_override(key: str, annotation: str, raw: str) -> object:
-    """Parse one ``--set`` value into the field's Python type."""
-    if annotation == "EncryptionMode":
-        try:
-            return EncryptionMode(raw.lower())
-        except ValueError:
-            raise OverrideError(
-                "%s must be one of %s, got %r"
-                % (key, ", ".join(m.value for m in EncryptionMode), raw)
-            ) from None
-    if annotation == "DDRTimingParameters":
-        preset = TIMING_PRESETS.get(raw.lower().replace("-", "_"))
-        if preset is None:
-            raise OverrideError(
-                "%s must be one of %s, got %r" % (key, ", ".join(TIMING_PRESETS), raw)
-            )
-        return preset
-    if annotation == "bool":
-        value = _BOOL_VALUES.get(raw.lower())
-        if value is None:
-            raise OverrideError("%s must be true/false, got %r" % (key, raw))
-        return value
-    if annotation in ("int", "Optional[int]"):
-        if annotation == "Optional[int]" and raw.lower() == "none":
-            return None
-        try:
-            return int(raw)
-        except ValueError:
-            raise OverrideError("%s must be an integer, got %r" % (key, raw)) from None
-    if annotation == "float":
-        try:
-            return float(raw)
-        except ValueError:
-            raise OverrideError("%s must be a number, got %r" % (key, raw)) from None
-    # Remaining fields (name, description, mechanism, figure) are strings.
-    return raw
-
-
-def _parse_overrides(pairs: List[str]) -> "Tuple[Dict[str, object], Dict[str, object]]":
-    """Split ``--set key=value`` pairs into (configuration, experiment) overrides.
-
-    Keys are resolved against ``SystemConfiguration`` first (they become
-    ``derive()`` keywords applied to every evaluated configuration) and
-    against ``ExperimentConfig`` second (they replace fields on the run's
-    shared experiment budget).  A key found in neither raises
-    :class:`~repro.errors.UnknownOverrideError`, which carries the full
-    valid-field vocabulary and a closest-match suggestion — the same error
-    shape unknown configuration/workload/engine names produce.
-    """
-    spec_types = _field_types()
-    experiment_types = _experiment_field_types()
-    spec_overrides: Dict[str, object] = {}
-    experiment_overrides: Dict[str, object] = {}
-    for pair in pairs:
-        key, separator, raw = pair.partition("=")
-        key = key.strip()
-        if not separator or not key:
-            raise OverrideError("--set expects KEY=VALUE, got %r" % pair)
-        if key in spec_types:
-            spec_overrides[key] = _coerce_override(key, spec_types[key], raw.strip())
-        elif key in experiment_types:
-            experiment_overrides[key] = _coerce_override(
-                key, experiment_types[key], raw.strip()
-            )
-        else:
-            raise UnknownOverrideError(
-                key, sorted(spec_types) + sorted(experiment_types)
-            )
-    return spec_overrides, experiment_overrides
-
-
-def _derived_configurations(
-    names: List[str], overrides: Dict[str, object]
-) -> List[ConfigurationLike]:
-    """Apply ``--set`` overrides, deriving an unnamed variant per configuration."""
-    if not overrides:
-        return list(names)
-    if "name" in overrides and len(names) > 1:
-        # One explicit name across several derived specs would collide in the
-        # result matrix (names key the normalization table).
-        raise OverrideError(
-            "--set name=... cannot be combined with multiple configurations "
-            "(%s) — every derived spec would share one name" % ", ".join(names)
-        )
-    return [resolve_configuration(name).derive(**overrides) for name in names]
-
-
-def _cmd_list() -> int:
+        sys.stdout.write(dump_payload(registries_payload()).decode("utf-8"))
+        return 0
     print("Configuration registry (%d entries)" % len(CONFIGURATIONS))
     print("%-28s %-10s %-10s %s" % ("name", "mechanism", "encryption", "figure"))
     for name in configuration_names():
@@ -722,13 +632,13 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec_overrides, experiment_overrides = _parse_overrides(args.overrides)
+    spec_overrides, experiment_overrides = parse_overrides(args.overrides)
     experiment = dataclasses.replace(
         ExperimentConfig(num_accesses=args.accesses, num_cores=args.cores, seed=args.seed),
         **experiment_overrides,
     )
     cache = _build_cache(args)
-    configurations = _derived_configurations(_split(args.configurations), spec_overrides)
+    configurations = derived_configurations(_split(args.configurations), spec_overrides)
     workloads = _resolve_workload_tokens(_split(args.workloads))
     streamed = [w for w in workloads if not isinstance(w, str)]
     if streamed:
@@ -790,7 +700,7 @@ def _run_sweep_command(
         print("error: arity must be >= 2, got %s" % ", ".join(map(str, invalid)),
               file=sys.stderr)
         return 2
-    sweep_overrides, experiment_overrides = _parse_overrides(args.overrides)
+    sweep_overrides, experiment_overrides = parse_overrides(args.overrides)
     blocked = sorted({"name", "tree_arity", "counters_per_line"} & set(sweep_overrides))
     if blocked:
         raise OverrideError(
@@ -1036,6 +946,43 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP experiment service until SIGTERM/SIGINT, then exit 0."""
+    import signal
+    import threading
+
+    from repro.server import ExperimentService, make_server
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    service = ExperimentService(args.workdir, jobs=args.jobs, cache_dir=cache_dir)
+    service.start()
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+
+    def _shutdown(signum, frame):
+        # serve_forever() blocks this (main) thread, and shutdown() blocks
+        # until serve_forever() returns -- calling it here directly would
+        # deadlock the handler, so a helper thread delivers it.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    print(
+        "serving on http://%s:%d (workdir: %s, jobs: %d, cache: %s)"
+        % (host, port, args.workdir, service.jobs, service.cache.directory),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        # Let the in-flight experiment finish; queued jobs stay on disk and
+        # are re-queued by the next start()'s recovery pass.
+        service.stop()
+    print("shutdown complete", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1060,7 +1007,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "configs":
         return _cmd_configs()
     if args.command == "workloads":

@@ -1,0 +1,47 @@
+"""repro.server: the HTTP experiment service behind ``repro serve``.
+
+Everything the library can run -- comparisons, Figure 8 sweeps, full figure
+reproduction passes, fuzz campaigns -- submitted as JSON job specs over
+HTTP and executed through one shared parallel runner and result cache, so
+concurrent clients warm each other's cache and an identical resubmission is
+an instant all-hits pass.  Built entirely on the stdlib (``http.server`` on
+threads): the reproduction stays dependency-free and the tests hermetic.
+
+Layering, bottom up:
+
+* :mod:`repro.server.schemas` -- canonical payload encoding
+  (:func:`~repro.server.schemas.dump_payload`), the registry dump shared
+  with ``repro list --json``, and eager job-spec validation;
+* :mod:`repro.server.jobstore` -- durable per-job state (``job.json``,
+  ``events.jsonl``, ``result.json``, ``artifacts/``) that survives restarts;
+* :mod:`repro.server.service` -- the priority queue and single worker
+  thread draining it through the library's entry points;
+* :mod:`repro.server.sse` -- Server-Sent Events framing for the progress
+  stream;
+* :mod:`repro.server.app` -- the ``ThreadingHTTPServer`` router;
+* :mod:`repro.server.client` -- a ``urllib``-only client mirroring the
+  endpoint surface.
+
+The result of a ``compare`` job served by ``GET /jobs/{id}/result`` is
+byte-identical to ``dump_payload(Session.compare(...).to_payload())`` -- the
+service adds transport and persistence, never its own result semantics.
+"""
+
+from repro.server.app import ExperimentHTTPServer, make_server
+from repro.server.client import Client, ServiceError
+from repro.server.jobstore import JobRecord, JobStore
+from repro.server.schemas import dump_payload, registries_payload, validate_request
+from repro.server.service import ExperimentService
+
+__all__ = [
+    "Client",
+    "ExperimentHTTPServer",
+    "ExperimentService",
+    "JobRecord",
+    "JobStore",
+    "ServiceError",
+    "dump_payload",
+    "make_server",
+    "registries_payload",
+    "validate_request",
+]

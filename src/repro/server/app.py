@@ -1,0 +1,214 @@
+"""The HTTP layer of the experiment service (stdlib ``http.server`` only).
+
+A thin router over :class:`~repro.server.service.ExperimentService`:
+
+======  ============================  ===========================================
+method  path                          behaviour
+======  ============================  ===========================================
+GET     /health                       liveness + version
+GET     /registries                   machine-readable registry dump
+POST    /jobs                         submit a job spec (201 + record)
+GET     /jobs                         every job record, submission order
+GET     /jobs/{id}                    one record (state, progress, error)
+GET     /jobs/{id}/events             Server-Sent Events progress stream
+GET     /jobs/{id}/result             canonical result bytes (409 until done)
+GET     /jobs/{id}/artifacts          artifact name list
+GET     /jobs/{id}/artifacts/{name}   one artifact file
+======  ============================  ===========================================
+
+``ThreadingHTTPServer`` gives every request its own thread, so any number
+of clients can follow ``/events`` streams while the single service worker
+executes jobs.  Invalid submissions come back as 400 with the registry's
+closest-match message; unknown ids are 404; asking for the result of an
+unfinished job is 409 (Conflict) so clients can poll the same URL.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RegistryLookupError
+from repro.overrides import OverrideError
+from repro.server.jobstore import TERMINAL_STATES
+from repro.server.schemas import RequestError, dump_payload, registries_payload
+from repro.server.service import ExperimentService
+from repro.server.sse import format_event
+
+__all__ = ["ExperimentHTTPServer", "make_server"]
+
+_CONTENT_TYPES = {
+    ".json": "application/json",
+    ".csv": "text/csv; charset=utf-8",
+    ".md": "text/markdown; charset=utf-8",
+    ".txt": "text/plain; charset=utf-8",
+    ".jsonl": "application/x-ndjson",
+}
+
+
+class ExperimentHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExperimentService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ExperimentService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    #: How often the /events follower re-checks the on-disk stream.
+    poll_interval = 0.05
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def service(self) -> ExperimentService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the caller's business, not stderr's
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        self._send_bytes(status, dump_payload(payload))
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            self._route_get()
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/jobs":
+            self._send_error(404, "unknown endpoint %r" % self.path)
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length) or b"null")
+        except ValueError:
+            self._send_error(400, "request body must be JSON")
+            return
+        try:
+            record = self.service.submit(payload)
+        except (RequestError, RegistryLookupError, OverrideError, ValueError) as error:
+            self._send_error(400, str(error))
+            return
+        body = record.payload()
+        body["location"] = "/jobs/%s" % record.id
+        self._send_json(201, body)
+
+    def _route_get(self) -> None:
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if parts == ["health"]:
+            from repro import __version__
+
+            self._send_json(200, {"status": "ok", "version": __version__})
+        elif parts == ["registries"]:
+            self._send_json(200, registries_payload())
+        elif parts == ["jobs"]:
+            self._send_json(
+                200, {"jobs": [record.payload() for record in self.service.list_jobs()]}
+            )
+        elif len(parts) >= 2 and parts[0] == "jobs":
+            self._route_job(parts[1], parts[2:])
+        else:
+            self._send_error(404, "unknown endpoint %r" % self.path)
+
+    def _route_job(self, job_id: str, rest) -> None:
+        record = self.service.job(job_id)
+        if record is None:
+            self._send_error(404, "unknown job %r" % job_id)
+        elif not rest:
+            self._send_json(200, record.payload())
+        elif rest == ["events"]:
+            self._stream_events(job_id)
+        elif rest == ["result"]:
+            self._send_result(record)
+        elif rest == ["artifacts"]:
+            self._send_artifact_list(job_id)
+        elif len(rest) == 2 and rest[0] == "artifacts":
+            self._send_artifact(job_id, rest[1])
+        else:
+            self._send_error(404, "unknown endpoint %r" % self.path)
+
+    # -- endpoint bodies ------------------------------------------------
+    def _send_result(self, record) -> None:
+        if record.state == "failed":
+            self._send_json(409, {"error": "job failed", "detail": record.error})
+            return
+        if record.state != "done":
+            self._send_error(409, "job is %s; retry after it completes" % record.state)
+            return
+        # Served verbatim: these are the dump_payload() bytes the worker
+        # wrote, so the HTTP body is byte-identical to an in-process run.
+        self._send_bytes(200, self.service.store.result_path(record.id).read_bytes())
+
+    def _send_artifact_list(self, job_id: str) -> None:
+        directory = self.service.store.artifacts_dir(job_id)
+        names = sorted(p.name for p in directory.iterdir()) if directory.is_dir() else []
+        self._send_json(200, {"artifacts": names})
+
+    def _send_artifact(self, job_id: str, name: str) -> None:
+        directory = self.service.store.artifacts_dir(job_id)
+        candidate = (directory / name).resolve()
+        # Containment check, not string prefixing: rejects traversal names
+        # like ``..%2f..%2fjob.json`` after URL decoding.
+        if not candidate.is_file() or directory.resolve() not in candidate.parents:
+            self._send_error(404, "unknown artifact %r" % name)
+            return
+        content_type = _CONTENT_TYPES.get(candidate.suffix, "application/octet-stream")
+        self._send_bytes(200, candidate.read_bytes(), content_type)
+
+    def _stream_events(self, job_id: str) -> None:
+        """Replay ``events.jsonl`` as SSE, then follow until a terminal state.
+
+        The stream is chunk-encoded (no Content-Length is knowable) and
+        closes itself once a ``state: done``/``failed`` event goes out, so
+        ``curl -N`` and the bundled client both terminate cleanly.
+        ``Last-Event-ID`` resumes after the given line index.
+        """
+        offset = 0
+        last_id = self.headers.get("Last-Event-ID")
+        if last_id and last_id.isdigit():
+            offset = int(last_id) + 1
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            while True:
+                events = self.service.store.read_events(job_id, offset)
+                for event in events:
+                    self._write_chunk(format_event(event, event_id=offset))
+                    offset += 1
+                    if event.get("event") == "state" and event.get("state") in TERMINAL_STATES:
+                        self._write_chunk(b"")
+                        return
+                time.sleep(self.poll_interval)
+        except BrokenPipeError:
+            pass
+
+    def _write_chunk(self, payload: bytes) -> None:
+        self.wfile.write(b"%x\r\n%s\r\n" % (len(payload), payload))
+        self.wfile.flush()
+
+
+def make_server(
+    service: ExperimentService, host: str = "127.0.0.1", port: int = 0
+) -> ExperimentHTTPServer:
+    """Bind an :class:`ExperimentHTTPServer`; ``port=0`` picks a free port."""
+    return ExperimentHTTPServer((host, port), service)

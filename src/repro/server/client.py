@@ -1,0 +1,124 @@
+"""A thin stdlib client for the experiment service (``repro serve``).
+
+Wraps ``urllib`` -- no third-party HTTP stack -- and mirrors the endpoint
+surface one-for-one::
+
+    from repro.server.client import Client
+
+    client = Client("http://127.0.0.1:8765")
+    job = client.submit({
+        "kind": "compare",
+        "configurations": ["secddr_ctr", "integrity_tree_64"],
+        "workloads": ["mcf", "pr"],
+        "experiment": {"num_accesses": 240, "num_cores": 1},
+    })
+    for event in client.events(job["id"]):
+        print(event)
+    table = client.result(job["id"])       # parsed result payload
+    raw = client.result_bytes(job["id"])   # byte-identical canonical JSON
+
+:class:`ServiceError` carries the HTTP status plus the server's one-line
+error message (the registry's closest-match text for bad names).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+from repro.server.sse import iter_events
+
+__all__ = ["Client", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the experiment service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__("HTTP %d: %s" % (status, message))
+
+
+class Client:
+    """Talk to one experiment service over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def _request(self, path: str, body: Optional[bytes] = None, headers=None) -> bytes:
+        request = Request(
+            self.base_url + path,
+            data=body,
+            headers=dict(headers or {}),
+            method="POST" if body is not None else "GET",
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as error:
+            detail = error.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode("utf-8", "replace"))
+            except ValueError:
+                message = detail.decode("utf-8", "replace")
+            raise ServiceError(error.code, str(message)) from None
+
+    def _json(self, path: str, body: Optional[bytes] = None) -> Dict[str, object]:
+        return json.loads(self._request(path, body))
+
+    # -- endpoints ------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._json("/health")
+
+    def registries(self) -> Dict[str, object]:
+        return self._json("/registries")
+
+    def submit(self, spec: Dict[str, object]) -> Dict[str, object]:
+        """Submit a job spec; returns the created job record."""
+        return self._json("/jobs", json.dumps(spec).encode("utf-8"))
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json("/jobs/%s" % job_id)
+
+    def events(self, job_id: str, last_event_id: Optional[int] = None) -> Iterator[Dict[str, object]]:
+        """Stream the job's SSE events; ends after the terminal state event."""
+        headers = {}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        request = Request(self.base_url + "/jobs/%s/events" % job_id, headers=headers)
+        with urlopen(request, timeout=self.timeout) as response:
+            yield from iter_events(response)
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> Dict[str, object]:
+        """Poll ``/jobs/{id}`` until the job is done or failed."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError("job %s still %s after %.1fs" % (job_id, record["state"], timeout))
+            time.sleep(0.1)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The canonical ``result.json`` bytes (409s raise ServiceError)."""
+        return self._request("/jobs/%s/result" % job_id)
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return json.loads(self.result_bytes(job_id))
+
+    def artifacts(self, job_id: str) -> List[str]:
+        return self._json("/jobs/%s/artifacts" % job_id)["artifacts"]
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        return self._request("/jobs/%s/artifacts/%s" % (job_id, name))

@@ -1,0 +1,222 @@
+"""Durable on-disk state for experiment-service jobs.
+
+One directory per job under ``<root>/jobs/<id>/``::
+
+    job.json       the JobRecord (request, state, priority, timings, error)
+    events.jsonl   append-only progress stream (what /events replays)
+    result.json    the canonical result payload, written once on completion
+    artifacts/     downloadable files (CSV/JSON/REPORT.md), job-kind specific
+
+``job.json`` writes are atomic (tempfile + ``os.replace``), and the record
+carries everything needed to re-execute the job, so the store survives a
+server restart: :meth:`JobStore.recover` re-queues jobs that never started
+and marks jobs that were mid-run as ``failed`` (their worker died with the
+process; the shared result cache means a resubmission only re-runs whatever
+the interrupted attempt had not finished).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["JOB_STATES", "TERMINAL_STATES", "JobRecord", "JobStore"]
+
+#: Lifecycle: queued -> running -> done | failed.
+JOB_STATES = ("queued", "running", "done", "failed")
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """Everything the store persists about one submitted job."""
+
+    id: str
+    request: Dict[str, object]
+    state: str = "queued"
+    priority: int = 0
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Simulation-progress counters, updated while running:
+    #: {"total", "completed", "simulated", "cached", "failed"}.
+    progress: Dict[str, int] = field(default_factory=dict)
+    #: Structured error detail for ``failed`` jobs: {"type", "message",
+    #: "traceback", "failures": [JobFailure payloads]}.
+    error: Optional[Dict[str, object]] = None
+
+    @property
+    def kind(self) -> str:
+        return str(self.request.get("kind", "?"))
+
+    def payload(self) -> Dict[str, object]:
+        """The JSON form served by ``GET /jobs/{id}`` (and stored on disk)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "request": self.request,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": dict(self.progress),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "JobRecord":
+        return cls(
+            id=payload["id"],
+            request=payload["request"],
+            state=payload["state"],
+            priority=payload.get("priority", 0),
+            created_at=payload.get("created_at", 0.0),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            progress=dict(payload.get("progress") or {}),
+            error=payload.get("error"),
+        )
+
+
+class JobStore:
+    """Filesystem-backed job records with atomic writes and append-only events."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._counter = itertools.count(self._next_sequence())
+
+    # -- identifiers ----------------------------------------------------
+    def _next_sequence(self) -> int:
+        highest = 0
+        for path in self.jobs_dir.iterdir():
+            prefix = path.name.split("-", 1)[0]
+            if prefix.isdigit():
+                highest = max(highest, int(prefix))
+        return highest + 1
+
+    def _new_id(self) -> str:
+        # Sequence prefix keeps directory listings (and /jobs) in submission
+        # order; the random suffix keeps ids unguessable across restarts,
+        # where the sequence restarts from the highest surviving record.
+        return "%06d-%s" % (next(self._counter), os.urandom(3).hex())
+
+    # -- paths ----------------------------------------------------------
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    def artifacts_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "artifacts"
+
+    # -- records --------------------------------------------------------
+    def create(self, request: Dict[str, object]) -> JobRecord:
+        """Persist a new ``queued`` record for ``request`` and return it."""
+        with self._lock:
+            record = JobRecord(
+                id=self._new_id(),
+                request=request,
+                priority=int(request.get("priority", 0)),
+                created_at=time.time(),
+            )
+            self.job_dir(record.id).mkdir(parents=True)
+            self._write(record)
+        return record
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically persist ``record`` (its directory must exist)."""
+        with self._lock:
+            self._write(record)
+
+    def _write(self, record: JobRecord) -> None:
+        final = self.job_dir(record.id) / "job.json"
+        tmp = final.with_name("job.json.tmp.%d" % os.getpid())
+        tmp.write_text(json.dumps(record.payload(), sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, final)
+
+    def load(self, job_id: str) -> Optional[JobRecord]:
+        """The record for ``job_id``, or None when it does not exist."""
+        try:
+            payload = json.loads((self.job_dir(job_id) / "job.json").read_text())
+        except (OSError, ValueError):
+            return None
+        return JobRecord.from_payload(payload)
+
+    def list(self) -> List[JobRecord]:
+        """Every stored record, submission order."""
+        records = []
+        for path in sorted(self.jobs_dir.iterdir()):
+            record = self.load(path.name)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # -- events ---------------------------------------------------------
+    def append_event(self, job_id: str, event: Dict[str, object]) -> None:
+        """Append one event to the job's JSONL stream (what /events serves)."""
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with self._lock:
+            with self.events_path(job_id).open("a") as stream:
+                stream.write(line)
+                stream.flush()
+
+    def read_events(self, job_id: str, offset: int = 0) -> List[Dict[str, object]]:
+        """Events appended so far, skipping the first ``offset``."""
+        try:
+            lines = self.events_path(job_id).read_text().splitlines()
+        except OSError:
+            return []
+        return [json.loads(line) for line in lines[offset:] if line.strip()]
+
+    # -- results --------------------------------------------------------
+    def write_result(self, job_id: str, payload_bytes: bytes) -> Path:
+        """Atomically persist the canonical result bytes for ``job_id``."""
+        final = self.result_path(job_id)
+        tmp = final.with_name("result.json.tmp.%d" % os.getpid())
+        tmp.write_bytes(payload_bytes)
+        os.replace(tmp, final)
+        return final
+
+    # -- recovery -------------------------------------------------------
+    def recover(self) -> List[JobRecord]:
+        """Reconcile records with reality after a restart.
+
+        Jobs still ``queued`` are returned for re-enqueueing (their request
+        is fully self-contained).  Jobs recorded as ``running`` lost their
+        worker with the old process and are marked ``failed`` with an
+        explanatory error -- resubmitting one is cheap because everything
+        the interrupted run simulated is already in the shared result cache.
+        """
+        requeue: List[JobRecord] = []
+        for record in self.list():
+            if record.state == "queued":
+                requeue.append(record)
+            elif record.state == "running":
+                record.state = "failed"
+                record.finished_at = time.time()
+                record.error = {
+                    "type": "ServerRestart",
+                    "message": "job was running when the server stopped; "
+                    "resubmit to resume from the shared result cache",
+                    "traceback": "",
+                }
+                self.save(record)
+                self.append_event(
+                    record.id,
+                    {"event": "state", "state": "failed", "error": record.error},
+                )
+        return requeue

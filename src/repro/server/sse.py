@@ -1,0 +1,56 @@
+"""Minimal Server-Sent Events framing (RFC-less, per the WHATWG spec subset).
+
+The service streams job progress as one SSE event per persisted
+``events.jsonl`` line: the ``event:`` field is the record's ``"event"`` key
+(``state`` or ``job``), ``id:`` is the line's position in the stream (so a
+reconnecting client can resume with ``Last-Event-ID``), and ``data:`` is the
+JSON record itself.  :func:`iter_events` is the client-side inverse.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, Optional
+
+__all__ = ["format_event", "iter_events"]
+
+
+def format_event(data: Dict[str, object], event_id: Optional[int] = None) -> bytes:
+    """One wire-format SSE event for a JSON-safe record."""
+    lines = []
+    if event_id is not None:
+        lines.append("id: %d" % event_id)
+    name = data.get("event")
+    if isinstance(name, str):
+        lines.append("event: %s" % name)
+    lines.append("data: %s" % json.dumps(data, sort_keys=True))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def iter_events(lines: Iterable[bytes]) -> Iterator[Dict[str, object]]:
+    """Parse an SSE byte stream back into the JSON records it carries.
+
+    Yields one dict per event; ``id:`` and ``event:`` fields are folded in
+    as ``_id`` / ``_event`` keys (prefixed so they can never collide with
+    the record's own keys).
+    """
+    event_id: Optional[str] = None
+    name: Optional[str] = None
+    data_lines = []
+    for raw in lines:
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if line == "":
+            if data_lines:
+                record = json.loads("\n".join(data_lines))
+                if event_id is not None:
+                    record["_id"] = int(event_id)
+                if name is not None:
+                    record["_event"] = name
+                yield record
+            event_id, name, data_lines = None, None, []
+        elif line.startswith("id:"):
+            event_id = line[3:].strip()
+        elif line.startswith("event:"):
+            name = line[6:].strip()
+        elif line.startswith("data:"):
+            data_lines.append(line[5:].strip())

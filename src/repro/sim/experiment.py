@@ -26,6 +26,8 @@ from repro.secure.configs import ConfigurationLike, resolve_configuration
 from repro.sim.engines import EngineLike, resolve_engine
 from repro.sim.results import ComparisonResult, SimulationResult
 from repro.sim.runner import (
+    JobFailedError,
+    JobFailure,
     ParallelRunner,
     ProgressHook,
     ResultCache,
@@ -122,6 +124,7 @@ def run_comparison(
     progress: Optional[ProgressHook] = None,
     engine: Optional[EngineLike] = None,
     configs: Optional[Iterable[ConfigurationLike]] = None,
+    failures: str = "raise",
 ) -> ComparisonResult:
     """Run every configuration over every workload and normalize to ``baseline``.
 
@@ -139,6 +142,14 @@ def run_comparison(
     from) reuses previously simulated pairs from disk, so one warm cache
     serves repeated comparisons and sweeps.  ``engine`` selects the
     simulation engine for every job (see :func:`run_simulation`).
+
+    ``failures="capture"`` changes what happens when a simulation raises:
+    instead of aborting the run at the failing job, the rest of the matrix
+    finishes (and is cached), and a :class:`~repro.sim.runner.JobFailedError`
+    carrying one structured :class:`~repro.sim.runner.JobFailure` per failed
+    pair is raised afterwards -- a normalized table cannot be built from a
+    partial matrix, but a retry only re-runs the failing pairs.  The
+    experiment service maps this onto a ``failed`` job with error detail.
 
     ``configs`` is a deprecated alias for ``configurations``.
     """
@@ -191,10 +202,18 @@ def run_comparison(
         workload if isinstance(workload, str) else workload.name for workload in workload_list
     ]
 
-    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress, failures=failures)
     results: Dict[str, Dict[str, SimulationResult]] = runner.run_matrix(
         config_list, workload_list, experiment, engine=engine
     )
+    failed = [
+        value
+        for per_workload in results.values()
+        for value in per_workload.values()
+        if isinstance(value, JobFailure)
+    ]
+    if failed:
+        raise JobFailedError(failed)
     raw: Dict[str, Dict[str, float]] = {
         config: {workload: result.total_ipc for workload, result in per_workload.items()}
         for config, per_workload in results.items()

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim.stats import geometric_mean
 
-__all__ = ["SimulationResult", "ComparisonResult"]
+__all__ = ["COMPARISON_SCHEMA_VERSION", "SimulationResult", "ComparisonResult"]
+
+#: Version tag carried by :meth:`ComparisonResult.to_payload` so downstream
+#: consumers (the experiment service, archived result.json files) can detect
+#: layout changes.
+COMPARISON_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -55,6 +60,50 @@ class ComparisonResult:
 
     def result(self, configuration: str, workload: str) -> SimulationResult:
         return self.results[configuration][workload]
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """The versioned, JSON-safe form of this comparison.
+
+        This is the payload the experiment service stores as a job's
+        ``result.json`` (serialized canonically, see
+        :func:`repro.server.schemas.dump_payload`), so a comparison run over
+        HTTP is byte-identical to the same comparison run in-process.
+        """
+        return {
+            "schema": COMPARISON_SCHEMA_VERSION,
+            "baseline": self.baseline,
+            "workloads": list(self.workloads),
+            "configurations": list(self.configurations),
+            "raw_ipc": {c: dict(per) for c, per in self.raw_ipc.items()},
+            "normalized": {c: dict(per) for c, per in self.normalized.items()},
+            "results": {
+                config: {workload: asdict(result) for workload, result in per.items()}
+                for config, per in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ComparisonResult":
+        """Rebuild a comparison from :meth:`to_payload` output."""
+        if payload.get("schema") != COMPARISON_SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported comparison payload schema %r" % payload.get("schema")
+            )
+        return cls(
+            baseline=payload["baseline"],
+            workloads=list(payload["workloads"]),
+            configurations=list(payload["configurations"]),
+            raw_ipc=payload["raw_ipc"],
+            normalized=payload["normalized"],
+            results={
+                config: {
+                    workload: SimulationResult(**result)
+                    for workload, result in per.items()
+                }
+                for config, per in payload["results"].items()
+            },
+        )
 
     # ------------------------------------------------------------------
     def format_table(self, precision: int = 3) -> str:

@@ -28,12 +28,15 @@ completion, and cache hits without coupling the runner to any UI.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import multiprocessing
 import os
+import pickle
 import time
-from dataclasses import asdict, dataclass
+import traceback as traceback_module
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -58,6 +61,8 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "SimulationJob",
     "JobEvent",
+    "JobFailure",
+    "JobFailedError",
     "ProgressHook",
     "ResultCache",
     "ParallelRunner",
@@ -190,7 +195,8 @@ class JobEvent:
 
     ``status`` is ``"start"`` when a job is dispatched, ``"done"`` when its
     simulation finishes (``elapsed_seconds`` is the worker-measured wall
-    time), and ``"cached"`` when the on-disk cache satisfied it.
+    time), ``"cached"`` when the on-disk cache satisfied it, and ``"failed"``
+    when the job raised and the runner is in ``failures="capture"`` mode.
     """
 
     configuration: str
@@ -202,6 +208,87 @@ class JobEvent:
 
 
 ProgressHook = Callable[[JobEvent], None]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that raised instead of producing a result.
+
+    In ``failures="capture"`` mode the runner stores one of these in the
+    result slot of the job that failed (the rest of the matrix still runs and
+    is cached as usual).  The record is JSON-friendly by construction -- the
+    experiment service persists it verbatim as a job's error detail.
+    ``exception`` additionally carries the original exception instance when
+    it survived the trip back from the worker process (registry errors and
+    most stdlib exceptions do); it is excluded from comparisons and payloads.
+    """
+
+    configuration: str
+    workload: str
+    error_type: str
+    error_message: str
+    traceback: str
+    exception: Optional[BaseException] = field(default=None, compare=False, repr=False)
+
+    def payload(self) -> Dict[str, str]:
+        """The JSON-safe form (everything except the live exception)."""
+        return {
+            "configuration": self.configuration,
+            "workload": self.workload,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.traceback,
+        }
+
+    def describe(self) -> str:
+        return "%s/%s: %s: %s" % (
+            self.configuration, self.workload, self.error_type, self.error_message,
+        )
+
+
+class JobFailedError(RuntimeError):
+    """One or more jobs of a matrix failed (``failures`` carries the detail).
+
+    Raised by :func:`repro.sim.experiment.run_comparison` in
+    ``failures="capture"`` mode *after* the rest of the matrix has finished
+    (and been cached), so a retry only re-runs the failing pairs.
+    """
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        super().__init__(
+            "%d simulation job(s) failed: %s"
+            % (len(self.failures), "; ".join(f.describe() for f in self.failures))
+        )
+
+
+def _guarded_execute(executor: Callable, job) -> Tuple[object, float]:
+    """Run ``executor(job)``, converting any exception into a JobFailure.
+
+    Module-level (and composed with :func:`functools.partial`) so worker
+    pools can pickle it around any module-level executor.  The original
+    exception rides along only when it pickles cleanly -- an unpicklable
+    exception must not kill the pool's result channel.
+    """
+    started = time.perf_counter()
+    try:
+        return executor(job)
+    except Exception as exc:
+        elapsed = time.perf_counter() - started
+        carried: Optional[BaseException] = exc
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            carried = None
+        failure = JobFailure(
+            configuration=getattr(job, "configuration_name", "?"),
+            workload=getattr(job, "workload_name", "?"),
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            traceback=traceback_module.format_exc(),
+            exception=carried,
+        )
+        return failure, elapsed
 
 
 class ResultCache:
@@ -310,6 +397,16 @@ class ParallelRunner:
     by supplying a matching ``executor`` (a *module-level* callable, so pools
     can pickle it, mapping one job to ``(result, elapsed_seconds)``).  The
     fuzz campaign engine reuses the runner this way with scenario jobs.
+
+    ``failures`` selects what happens when a job raises:
+
+    * ``"raise"`` (the default, and the historical behavior) propagates the
+      exception out of :meth:`run` / :meth:`run_matrix`;
+    * ``"capture"`` records a :class:`JobFailure` in that job's result slot,
+      emits a ``"failed"`` :class:`JobEvent`, and keeps going -- the rest of
+      the matrix completes (and is cached), which is what lets the
+      experiment service mark one job ``failed`` with structured error
+      detail while concurrent work still benefits from the shared cache.
     """
 
     def __init__(
@@ -318,11 +415,15 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressHook] = None,
         executor: Callable = _execute_job,
+        failures: str = "raise",
     ) -> None:
+        if failures not in ("raise", "capture"):
+            raise ValueError("failures must be 'raise' or 'capture', got %r" % failures)
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
         self.executor = executor
+        self.failures = failures
 
     # ------------------------------------------------------------------
     def _emit(self, event: JobEvent) -> None:
@@ -353,15 +454,23 @@ class ParallelRunner:
                     JobEvent(job.configuration_name, job.workload_name, "start", index, total)
                 )
             pending_jobs = [job for _, job, _ in pending]
+            # Capture mode wraps the executor *inside* the worker, so a
+            # raising job comes back as a JobFailure value instead of
+            # poisoning the pool's result stream; raise mode keeps the
+            # historical path (the exception propagates at that job's turn).
+            executor = (
+                functools.partial(_guarded_execute, self.executor)
+                if self.failures == "capture" else self.executor
+            )
             if self.jobs == 1 or len(pending) == 1:
-                self._consume(pending, map(self.executor, pending_jobs), results, total)
+                self._consume(pending, map(executor, pending_jobs), results, total)
             else:
                 workers = min(self.jobs, len(pending))
                 with multiprocessing.Pool(processes=workers) as pool:
                     # imap streams outcomes in job order as workers finish,
                     # so progress events and cache writes happen per job
                     # instead of all at once after the last job.
-                    self._consume(pending, pool.imap(self.executor, pending_jobs), results, total)
+                    self._consume(pending, pool.imap(executor, pending_jobs), results, total)
 
         if any(result is None for result in results):
             raise RuntimeError("runner left unfilled job slots")  # pragma: no cover
@@ -371,6 +480,15 @@ class ParallelRunner:
         """Store streamed outcomes, write the cache, and emit 'done' events."""
         for (index, job, key), (result, elapsed) in zip(pending, outcomes):
             results[index] = result
+            if isinstance(result, JobFailure):
+                # Never cached: a retry after the bug is fixed must re-run.
+                self._emit(
+                    JobEvent(
+                        job.configuration_name, job.workload_name, "failed",
+                        index, total, elapsed,
+                    )
+                )
+                continue
             if self.cache is not None and key is not None:
                 self.cache.put(key, result)
             self._emit(
@@ -391,6 +509,10 @@ class ParallelRunner:
         the result table is keyed by name either way.  Exact duplicates are
         collapsed and run once, but two *different* specs sharing one name
         would be indistinguishable in the table -- that is rejected.
+
+        In ``failures="capture"`` mode a job that raised contributes a
+        :class:`JobFailure` as its table value while every other cell still
+        holds its :class:`~repro.sim.results.SimulationResult`.
         """
         seen: Dict[str, ConfigurationLike] = {}
         config_list: List[ConfigurationLike] = []

@@ -52,7 +52,7 @@ class TestArchitectureDoc:
         "repro.cpu", "repro.cache", "repro.controller", "repro.dram",
         "repro.secure", "repro.sim", "repro.sim.engines", "repro.figures",
         "repro.workloads", "repro.core", "repro.crypto", "repro.attacks",
-        "repro.analysis", "repro.fuzz", "repro.traces",
+        "repro.analysis", "repro.fuzz", "repro.traces", "repro.server",
     ])
     def test_every_layer_is_described(self, layer):
         assert layer in ARCHITECTURE.read_text()
@@ -108,7 +108,8 @@ class TestPackageDocstrings:
         "repro", "repro.analysis", "repro.attacks", "repro.cache",
         "repro.controller", "repro.core", "repro.cpu", "repro.crypto",
         "repro.dram", "repro.figures", "repro.fuzz", "repro.secure",
-        "repro.sim", "repro.sim.engines", "repro.traces", "repro.workloads",
+        "repro.server", "repro.sim", "repro.sim.engines", "repro.traces",
+        "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):
         imported = __import__(module, fromlist=["__doc__"])

@@ -1,0 +1,79 @@
+"""Cross-process result-cache sharing (what `repro serve` relies on).
+
+Two independent Sessions in *separate OS processes* share one
+``--cache-dir``.  The cache's atomic tempfile+rename writes mean a
+concurrent reader can only ever observe complete entries, so concurrent
+sessions never corrupt each other -- and once one session has warmed the
+directory, every later session (process, server job, CLI run) is an
+all-hits pass.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Runs one comparison against a shared cache dir and reports the stats.
+WORKER = """
+import json, sys
+sys.path.insert(0, %r)
+from repro.api import Session
+
+cache_dir = sys.argv[1]
+session = (
+    Session(cache_dir=cache_dir)
+    .configs("secddr_ctr", "integrity_tree_64")
+    .workloads("mcf", "pr")
+    .with_experiment(num_accesses=240, num_cores=1)
+)
+result = session.compare()
+hits, misses = session.cache_stats
+print(json.dumps({
+    "hits": hits,
+    "misses": misses,
+    "normalized": result.normalized,
+}))
+""" % REPO_SRC
+
+
+def _spawn(cache_dir):
+    return subprocess.Popen(
+        [sys.executable, "-c", WORKER, str(cache_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _finish(process):
+    stdout, stderr = process.communicate(timeout=300)
+    assert process.returncode == 0, stderr
+    return json.loads(stdout)
+
+
+class TestSharedCacheAcrossProcesses:
+    def test_second_process_is_all_hits_after_the_first_finishes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = _finish(_spawn(cache_dir))
+        second = _finish(_spawn(cache_dir))
+        assert first["misses"] == 6  # baseline + 2 configs x 2 workloads
+        assert first["hits"] == 0
+        assert second["misses"] == 0
+        assert second["hits"] == 6
+        assert second["normalized"] == first["normalized"]
+
+    def test_concurrent_processes_never_corrupt_the_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Both processes race over the same six entries; atomic writes mean
+        # each either recomputes (identical bytes) or reads a complete entry.
+        processes = [_spawn(cache_dir), _spawn(cache_dir)]
+        outcomes = [_finish(process) for process in processes]
+        assert outcomes[0]["normalized"] == outcomes[1]["normalized"]
+        for outcome in outcomes:
+            assert outcome["hits"] + outcome["misses"] == 6
+        # The cache is left warm and readable: a third pass is pure hits.
+        final = _finish(_spawn(cache_dir))
+        assert final["misses"] == 0
+        assert final["hits"] == 6
