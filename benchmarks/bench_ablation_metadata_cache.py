@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from conftest import assert_expected_trends, bench_context
 
-from repro.figures import get_figure
+from repro.bench import get_bench
 
 
 def test_ablation_metadata_cache_size(benchmark):
-    spec = get_figure("ablation_cache")
+    spec = get_bench("ablation_cache").figure_spec()
     artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
     assert_expected_trends(artifact)

@@ -5,16 +5,18 @@ Runs the same streamed-trace scenario as ``bench_trace_streaming.py``
 engines, asserts exact statistical parity, and reports accesses/second per
 engine plus the batch/reference speedup.
 
-Two entry points:
+Two entry points, both thin wrappers over the registered ``engines``
+:class:`repro.bench.BenchSpec`:
 
 * **pytest-benchmark** -- ``pytest benchmarks/bench_engines.py`` times both
   engines and enforces the >=10x speedup floor the batch engine promises on
   this scenario.
 * **standalone JSON recorder** -- ``python benchmarks/bench_engines.py
-  --out BENCH_<date>.json`` writes a machine-readable record; ``--check
-  <baseline.json>`` additionally compares batch throughput against a prior
-  record and exits non-zero on a >10% regression (CI runs this against the
-  committed ``benchmarks/BENCH_*.json`` baseline).
+  --out BENCH_<date>.json`` merges the ``engines`` entry into the record
+  through the file-locked writer (:func:`repro.bench.merge_bench_record`,
+  safe against concurrent CI jobs); ``--check <baseline.json>``
+  additionally gates the entry's metrics against a prior record (``repro
+  bench --check`` runs the same comparison over every registered bench).
 
 Scale with ``REPRO_BENCH_TRACE_ACCESSES`` (default 20000).
 """
@@ -22,14 +24,21 @@ Scale with ``REPRO_BENCH_TRACE_ACCESSES`` (default 20000).
 from __future__ import annotations
 
 import argparse
-import glob
 import json
 import os
-import platform
 import sys
-import time
 from pathlib import Path
 
+from repro.bench import (
+    BenchContext,
+    compare_records,
+    environment_fingerprint,
+    find_baseline,
+    get_bench,
+    load_record,
+    merge_bench_record,
+    violations,
+)
 from repro.sim.experiment import ExperimentConfig, run_simulation
 from repro.traces import load_trace, save_trace
 from repro.workloads.registry import build_workload
@@ -42,8 +51,10 @@ ROUNDS = 3
 #: The batch engine must beat the reference model by at least this factor on
 #: the streamed scenario (the tentpole acceptance floor).
 SPEEDUP_FLOOR = 10.0
-#: CI gate: batch throughput may not drop more than this vs the baseline.
-REGRESSION_TOLERANCE = 0.10
+
+
+def _context() -> BenchContext:
+    return BenchContext(rounds=ROUNDS, timing_accesses=ACCESSES)
 
 
 def _experiment() -> ExperimentConfig:
@@ -100,10 +111,11 @@ if pytest is not None:
         print("batch: %.0f accesses/s (ipc %.4f)"
               % (ACCESSES / benchmark.stats.stats.mean, result.total_ipc))
 
-    def test_batch_speedup_floor(streamed_trace, experiment):
-        record = _measure(streamed_trace, _experiment())
-        speedup = record["speedup"]
+    def test_batch_speedup_floor():
+        entry = get_bench("engines").measure(_context())
+        speedup = entry.metrics["speedup"]
         print("speedup %.1fx (floor %.0fx)" % (speedup, SPEEDUP_FLOOR))
+        assert entry.metrics["parity_exact"] == 1.0, "batch engine broke parity"
         assert speedup >= SPEEDUP_FLOOR, (
             "batch engine speedup %.1fx is below the %.0fx floor" % (speedup, SPEEDUP_FLOOR)
         )
@@ -112,88 +124,36 @@ if pytest is not None:
 # ---------------------------------------------------------------------------
 # Standalone recorder / regression gate
 # ---------------------------------------------------------------------------
-def _time_engine(engine, trace, experiment):
-    """(best seconds over ROUNDS, last result) for one engine."""
-    best = float("inf")
-    result = None
-    for _ in range(ROUNDS):
-        started = time.perf_counter()
-        result = run_simulation(trace, CONFIGURATION, experiment, engine=engine)
-        best = min(best, time.perf_counter() - started)
-    return best, result
-
-
-def _measure(trace, experiment) -> dict:
-    reference_seconds, reference = _time_engine("reference", trace, experiment)
-    batch_seconds, batch = _time_engine("batch", trace, experiment)
-    _assert_parity(reference, batch)
-    return {
-        "scenario": {
-            "workload": WORKLOAD,
-            "configuration": CONFIGURATION,
-            "accesses": ACCESSES,
-            "cores": NUM_CORES,
-            "streamed": True,
-            "rounds": ROUNDS,
-        },
-        "engines": {
-            "reference": {
-                "seconds": round(reference_seconds, 4),
-                "accesses_per_second": round(ACCESSES / reference_seconds, 1),
-            },
-            "batch": {
-                "seconds": round(batch_seconds, 4),
-                "accesses_per_second": round(ACCESSES / batch_seconds, 1),
-            },
-        },
-        "speedup": round(reference_seconds / batch_seconds, 2),
-        "parity": "exact",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-
-
-def _check_regression(record: dict, baseline_path: Path) -> int:
-    baseline = json.loads(baseline_path.read_text())
-    old = baseline["engines"]["batch"]["accesses_per_second"]
-    new = record["engines"]["batch"]["accesses_per_second"]
-    change = (new - old) / old
-    print("batch throughput: baseline %.0f acc/s -> %.0f acc/s (%+.1f%%) [%s]"
-          % (old, new, 100.0 * change, baseline_path))
-    if change < -REGRESSION_TOLERANCE:
-        print("FAIL: batch engine throughput regressed more than %.0f%%"
-              % (100.0 * REGRESSION_TOLERANCE), file=sys.stderr)
-        return 1
-    return 0
-
-
 def default_baseline() -> "Path | None":
     """The newest committed ``benchmarks/BENCH_*.json``, if any."""
-    records = sorted(glob.glob(str(Path(__file__).parent / "BENCH_*.json")))
-    return Path(records[-1]) if records else None
+    return find_baseline(search=[Path(__file__).parent])
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, metavar="FILE",
-                        help="write the JSON record to FILE")
+                        help="merge the \"engines\" entry into FILE through the "
+                        "locked BENCH writer (other keys are preserved)")
     parser.add_argument("--check", nargs="?", const="auto", default=None, metavar="BASELINE",
-                        help="fail on a >%.0f%%%% batch-throughput regression vs "
-                        "BASELINE (default: the newest committed benchmarks/BENCH_*.json; "
-                        "a no-op when none exists yet)" % (100 * REGRESSION_TOLERANCE))
+                        help="fail when the engines entry violates its regression "
+                        "policies vs BASELINE (default: the newest committed "
+                        "benchmarks/BENCH_*.json; a no-op when none exists yet)")
     args = parser.parse_args(argv)
 
-    import tempfile
+    spec = get_bench("engines")
+    entry = spec.measure(_context())
+    record = {
+        "benches": {"engines": entry.to_payload()},
+        "environment": environment_fingerprint(),
+    }
+    print(json.dumps(entry.to_payload(), indent=2))
+    print("speedup: %.1fx (parity %s)"
+          % (entry.metrics["speedup"],
+             "exact" if entry.metrics["parity_exact"] == 1.0 else "BROKEN"))
 
-    with tempfile.TemporaryDirectory(prefix="repro-bench-engines-") as tmp:
-        trace = _build_streamed_trace(Path(tmp))
-        record = _measure(trace, _experiment())
-
-    print(json.dumps(record, indent=2))
-    print("speedup: %.1fx (parity exact)" % record["speedup"])
     if args.out:
-        Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
-        print("wrote %s" % args.out)
+        merge_bench_record(args.out, {"engines": entry.to_payload()})
+        print("merged \"engines\" into %s" % args.out)
 
     if args.check is not None:
         baseline = default_baseline() if args.check == "auto" else Path(args.check)
@@ -202,7 +162,16 @@ def main(argv=None) -> int:
         elif args.out and baseline.resolve() == Path(args.out).resolve():
             print("baseline is this run's own output; skipping the regression gate")
         else:
-            return _check_regression(record, baseline)
+            deltas = compare_records(record, load_record(baseline))
+            failed = violations(deltas)
+            for delta in deltas:
+                print("%s.%s: %s -> %s [%s]" % (
+                    delta.bench, delta.metric, delta.baseline, delta.current, delta.status,
+                ))
+            if failed:
+                print("FAIL: %d engines metric(s) regressed past policy vs %s"
+                      % (len(failed), baseline), file=sys.stderr)
+                return 1
     return 0
 
 

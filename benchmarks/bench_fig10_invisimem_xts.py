@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from conftest import assert_expected_trends, bench_context
 
-from repro.figures import get_figure
+from repro.bench import get_bench
 
 
 def test_fig10_invisimem_comparison_xts(benchmark):
-    spec = get_figure("fig10")
+    spec = get_bench("fig10").figure_spec()
     artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
     assert_expected_trends(artifact)

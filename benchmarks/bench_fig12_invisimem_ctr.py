@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from conftest import assert_expected_trends, bench_context
 
-from repro.figures import get_figure
+from repro.bench import get_bench
 
 
 def test_fig12_invisimem_comparison_ctr(benchmark):
-    spec = get_figure("fig12")
+    spec = get_bench("fig12").figure_spec()
     artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
     assert_expected_trends(artifact)

@@ -18,13 +18,22 @@ from __future__ import annotations
 
 from conftest import RESULTS_DIR, _env_int, bench_cache, bench_jobs
 
+from repro.bench import BenchContext, get_bench
 from repro.fuzz import FuzzCampaign, detection_matrix_artifact
 
 
+def _knobs():
+    return (
+        _env_int("REPRO_BENCH_FUZZ_SEED", 7),
+        _env_int("REPRO_BENCH_FUZZ_BUDGET", 30),
+    )
+
+
 def test_fuzz_campaign_properties(benchmark):
+    seed, budget = _knobs()
     campaign = FuzzCampaign(
-        seed=_env_int("REPRO_BENCH_FUZZ_SEED", 7),
-        budget=_env_int("REPRO_BENCH_FUZZ_BUDGET", 30),
+        seed=seed,
+        budget=budget,
         jobs=bench_jobs(),
         # Scenario results nest under fuzz/ inside the shared benchmark cache.
         cache=bench_cache(),
@@ -43,3 +52,14 @@ def test_fuzz_campaign_properties(benchmark):
     assert report.missed_kinds("baseline_no_rap"), (
         "the no-RAP baseline should silently lose a replay-style class"
     )
+
+
+def test_registered_fuzz_spec_agrees():
+    """The ``fuzz`` BenchSpec reproduces this campaign from the warm cache."""
+    seed, budget = _knobs()
+    entry = get_bench("fuzz").measure(BenchContext(
+        cache=bench_cache(), jobs=bench_jobs(), fuzz_seed=seed, fuzz_budget=budget,
+    ))
+    assert entry.metrics["oracle_violations"] == 0.0
+    assert entry.metrics["detection_rate"] == 1.0
+    assert entry.metrics["scenarios"] == float(budget)

@@ -1,8 +1,9 @@
 """Benchmark: the HTTP experiment service vs direct in-process dispatch.
 
-Starts a real ``repro.server`` stack (ExperimentService + ThreadingHTTPServer
-on an ephemeral port) and measures what the transport costs on top of the
-work itself:
+Thin standalone wrapper over the registered ``server``
+:class:`repro.bench.BenchSpec`, which starts a real ``repro.server`` stack
+(ExperimentService + ThreadingHTTPServer on an ephemeral port) and measures
+what the transport costs on top of the work itself:
 
 * **submissions/sec** — how fast ``POST /jobs`` validates + persists +
   enqueues a compare spec (the queue is drained afterwards, so this times
@@ -13,13 +14,15 @@ work itself:
   service overhead (HTTP + queue + job store), because neither side
   simulates anything.
 
-The run also asserts the service's headline contract: the bytes served by
-``GET /jobs/{id}/result`` equal ``dump_payload(run_comparison(...).to_payload())``.
+The spec also gates the service's headline contract as a metric: the bytes
+served by ``GET /jobs/{id}/result`` equal
+``dump_payload(run_comparison(...).to_payload())`` (``result_parity``).
 
 Standalone recorder: ``python benchmarks/bench_server.py --out
-BENCH_<date>.json`` merges a ``"server"`` key into the record (an existing
-file — e.g. one written by ``bench_engines.py`` — is preserved; its
-``"engines"`` key is what the engine regression gate reads).
+BENCH_<date>.json`` merges the ``server`` entry into the record through the
+file-locked writer (:func:`repro.bench.merge_bench_record`), so a
+concurrent ``bench_engines.py --out`` against the same file cannot clobber
+either entry.
 
 Scale with ``REPRO_BENCH_SERVER_ACCESSES`` (default 400) and
 ``REPRO_BENCH_SERVER_SUBMISSIONS`` (default 50).
@@ -30,134 +33,39 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
-import tempfile
-import time
-from pathlib import Path
 
-from repro.server import Client, dump_payload, make_server
-from repro.server.service import ExperimentService
-from repro.sim.runner import ResultCache
-from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.bench import BenchContext, get_bench, merge_bench_record
 
 ACCESSES = int(os.environ.get("REPRO_BENCH_SERVER_ACCESSES") or 400)
 SUBMISSIONS = int(os.environ.get("REPRO_BENCH_SERVER_SUBMISSIONS") or 50)
-CONFIGURATIONS = ["secddr_ctr", "integrity_tree_64"]
-WORKLOADS = ["gcc", "mcf"]
 ROUNDS = 3
-
-SPEC = {
-    "kind": "compare",
-    "configurations": CONFIGURATIONS,
-    "workloads": WORKLOADS,
-    "experiment": {"num_accesses": ACCESSES, "num_cores": 1},
-}
-
-
-def _experiment() -> ExperimentConfig:
-    return ExperimentConfig(num_accesses=ACCESSES, num_cores=1)
-
-
-def _direct(cache: ResultCache):
-    return run_comparison(
-        configurations=CONFIGURATIONS,
-        workloads=WORKLOADS,
-        experiment=_experiment(),
-        cache=cache,
-    )
-
-
-def _best(fn, rounds=ROUNDS):
-    """(best seconds over ``rounds``, last return value) for ``fn``."""
-    best = float("inf")
-    value = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - started)
-    return best, value
-
-
-def _measure(workdir: Path) -> dict:
-    cache = ResultCache(workdir / "cache")
-    service = ExperimentService(workdir / "service", jobs=1, cache=cache)
-    service.start(recover=False)
-    server = make_server(service, port=0)
-    import threading
-
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    client = Client("http://%s:%d" % server.server_address[:2])
-
-    try:
-        # Warm the shared cache once; every timed pass below is all-hits.
-        cold_seconds, comparison = _best(lambda: _direct(cache), rounds=1)
-        expected = dump_payload(comparison.to_payload())
-
-        def server_pass():
-            job = client.submit(SPEC)
-            client.wait(job["id"])
-            return client.result_bytes(job["id"])
-
-        warm_direct, _ = _best(lambda: dump_payload(_direct(cache).to_payload()))
-        warm_server, served = _best(server_pass)
-        assert served == expected, "service result drifted from run_comparison"
-
-        # Submission throughput: POST only; drain the queue afterwards so
-        # the in-flight worker does not stretch the last measurement.
-        started = time.perf_counter()
-        ids = [client.submit(SPEC)["id"] for _ in range(SUBMISSIONS)]
-        submit_seconds = time.perf_counter() - started
-        for job_id in ids:
-            client.wait(job_id)
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
-        service.stop()
-
-    return {
-        "scenario": {
-            "configurations": CONFIGURATIONS,
-            "workloads": WORKLOADS,
-            "accesses": ACCESSES,
-            "submissions": SUBMISSIONS,
-            "rounds": ROUNDS,
-        },
-        "cold_compare_seconds": round(cold_seconds, 4),
-        "warm_direct_seconds": round(warm_direct, 4),
-        "warm_e2e_seconds": round(warm_server, 4),
-        "transport_overhead_seconds": round(warm_server - warm_direct, 4),
-        "submissions_per_second": round(SUBMISSIONS / submit_seconds, 1),
-        "result_parity": "byte-identical",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=None, metavar="FILE",
-                        help="merge the record into FILE under the \"server\" key "
-                        "(other keys in an existing FILE are preserved)")
+                        help="merge the \"server\" entry into FILE through the "
+                        "locked BENCH writer (other keys are preserved)")
     args = parser.parse_args(argv)
 
-    with tempfile.TemporaryDirectory(prefix="repro-bench-server-") as tmp:
-        record = _measure(Path(tmp))
+    entry = get_bench("server").measure(BenchContext(
+        rounds=ROUNDS,
+        server_accesses=ACCESSES,
+        server_submissions=SUBMISSIONS,
+    ))
 
-    print(json.dumps(record, indent=2))
-    print("warm e2e %.3fs vs direct %.3fs (+%.3fs transport); %.0f submissions/s"
-          % (record["warm_e2e_seconds"], record["warm_direct_seconds"],
-             record["transport_overhead_seconds"], record["submissions_per_second"]))
+    print(json.dumps(entry.to_payload(), indent=2))
+    print("warm e2e %.3fs (+%.3fs transport); %.0f submissions/s; parity %s"
+          % (entry.metrics["warm_e2e_seconds"],
+             entry.metrics["transport_overhead_seconds"],
+             entry.metrics["submissions_per_second"],
+             "byte-identical" if entry.metrics["result_parity"] == 1.0 else "BROKEN"))
 
     if args.out:
-        out = Path(args.out)
-        merged = json.loads(out.read_text()) if out.exists() else {}
-        merged["server"] = record
-        out.write_text(json.dumps(merged, indent=2) + "\n")
+        merge_bench_record(args.out, {"server": entry.to_payload()})
         print("merged \"server\" into %s" % args.out)
-    return 0
+    return 1 if entry.metrics["result_parity"] != 1.0 else 0
 
 
 if __name__ == "__main__":

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from conftest import assert_expected_trends, bench_context
 
-from repro.figures import get_figure
+from repro.bench import get_bench
 
 
 def test_table1_configuration(benchmark):
-    spec = get_figure("table1")
+    spec = get_bench("table1").figure_spec()
     artifact = benchmark.pedantic(lambda: spec.build(bench_context()), rounds=1, iterations=1)
     assert_expected_trends(artifact)

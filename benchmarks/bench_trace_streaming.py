@@ -100,3 +100,14 @@ def test_simulate_streamed_batch_engine(benchmark, streamed_trace, experiment):
         rounds=3, iterations=1,
     )
     _throughput(benchmark, result.total_ipc)
+
+
+def test_registered_trace_streaming_spec():
+    """The ``trace_streaming`` BenchSpec measures this scenario with parity."""
+    from repro.bench import BenchContext, get_bench
+
+    entry = get_bench("trace_streaming").measure(
+        BenchContext(rounds=1, timing_accesses=2000)
+    )
+    assert entry.metrics["parity_exact"] == 1.0
+    assert entry.metrics["streamed_accesses_per_second"] > 0

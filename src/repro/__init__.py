@@ -30,6 +30,10 @@ substrate its evaluation depends on:
   claims: seeded scenario generation, security oracles with a golden shadow
   memory, cached parallel campaigns, scenario shrinking, JSONL corpora
   (``repro fuzz``, see ``docs/fuzzing.md``).
+* :mod:`repro.bench` -- continuous evaluation: one registered
+  :class:`~repro.bench.BenchSpec` per ``benchmarks/`` script, metric-level
+  regression policies, file-locked ``BENCH_<date>.json`` records and the
+  ``repro bench --check`` CI gate (see ``docs/benchmarking.md``).
 
 Reproduce the whole paper (see ``docs/reproducing-the-paper.md``)::
 
@@ -81,7 +85,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Session",

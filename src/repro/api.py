@@ -396,6 +396,35 @@ class Session:
         )
         return campaign.run()
 
+    def bench(self, benches=None, smoke: bool = False, **context_options):
+        """Run registered benchmark specs (``repro bench``).
+
+        ``benches`` selects spec keys (default: every registered bench;
+        see :func:`repro.bench.bench_names`), ``smoke`` switches to the
+        reduced CI budget, and ``context_options`` forward to
+        :class:`repro.bench.BenchContext` (``timing_accesses``,
+        ``fuzz_budget``, ...).  Figure-backed benches run their job
+        matrices through the session's cache and worker pool — the same
+        cache keys ``Session.reproduce`` warms — so a warmed session
+        simulates nothing.  Returns a :class:`repro.bench.BenchReport`.
+        """
+        from repro.bench import BenchContext, run_benches
+
+        context = None
+        if context_options:
+            factory = BenchContext.smoke if smoke else BenchContext
+            context = factory(
+                jobs=self.jobs, progress=self.progress, **context_options
+            )
+        return run_benches(
+            benches,
+            smoke=smoke,
+            cache=self.cache,
+            jobs=self.jobs,
+            progress=self.progress,
+            context=context,
+        )
+
     # -- introspection -------------------------------------------------
     def configuration_registry(self):
         return CONFIGURATION_REGISTRY

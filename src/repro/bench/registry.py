@@ -1,0 +1,37 @@
+"""The benchmark-spec registry (mirrors :mod:`repro.figures.registry`)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.spec import BenchSpec
+from repro.errors import UnknownBenchError
+
+__all__ = ["register_bench", "bench_names", "get_bench", "resolve_benches"]
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register_bench(spec: BenchSpec) -> BenchSpec:
+    """Register ``spec`` under its key; last registration wins."""
+    _REGISTRY[spec.key] = spec
+    return spec
+
+
+def bench_names() -> List[str]:
+    """Registered bench keys in registration order."""
+    return list(_REGISTRY)
+
+
+def get_bench(key: str) -> BenchSpec:
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownBenchError(key, _REGISTRY) from None
+
+
+def resolve_benches(keys: Optional[Iterable[str]] = None) -> List[BenchSpec]:
+    """The selected specs (all of them for ``None``), unknown keys rejected."""
+    if keys is None:
+        return [_REGISTRY[key] for key in _REGISTRY]
+    return [get_bench(key) for key in keys]

@@ -1,0 +1,229 @@
+"""Baseline comparison and the ``BENCH_REPORT.md`` delta table.
+
+Gating semantics (what ``repro bench --check`` enforces):
+
+* a metric whose :class:`~repro.bench.spec.MetricSpec` declares a policy
+  fails when it regressed past the tolerance — unconditionally for
+  deterministic metrics, only under a matching environment fingerprint for
+  ``noisy`` (timing) metrics; a mismatched fingerprint downgrades the
+  violation to ``flagged``;
+* entries whose recorded *scenario* (budget knobs) differs from the
+  baseline's are skipped entirely (``scenario-mismatch``) — a smoke run is
+  never gated against a full-budget record;
+* a gated metric that exists in the baseline but vanished from the current
+  record fails (``missing``); new benches/metrics are reported, never gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bench.registry import bench_names, get_bench
+from repro.bench.spec import MetricSpec
+from repro.figures.report import _md_table
+
+__all__ = ["MetricDelta", "compare_records", "render_bench_report", "violations"]
+
+#: Fingerprint fields that must agree for noisy-metric gating.
+_ENV_KEYS = ("python", "numpy", "cpu_count", "machine")
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement vs the baseline, with its gate verdict."""
+
+    bench: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: Signed relative change vs the baseline (None when undefined).
+    change: Optional[float]
+    #: ``ok`` | ``regressed`` | ``flagged`` | ``missing`` | ``new`` |
+    #: ``info`` | ``scenario-mismatch``
+    status: str
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+
+def environments_match(
+    record: Dict[str, object], baseline: Dict[str, object]
+) -> bool:
+    current = record.get("environment") or {}
+    previous = baseline.get("environment") or {}
+    return all(current.get(key) == previous.get(key) for key in _ENV_KEYS)
+
+
+def _metric_spec(bench: str, metric: str) -> Optional[MetricSpec]:
+    import repro.bench.specs  # noqa: F401 - registers the specs
+
+    if bench not in bench_names():
+        return None
+    return get_bench(bench).metric(metric)
+
+
+def _relative_change(old: float, new: float) -> Optional[float]:
+    if old == 0.0:
+        return None
+    return (new - old) / abs(old)
+
+
+def compare_records(
+    record: Dict[str, object],
+    baseline: Dict[str, object],
+) -> List[MetricDelta]:
+    """Every metric of ``record`` judged against ``baseline``."""
+    env_ok = environments_match(record, baseline)
+    deltas: List[MetricDelta] = []
+    current_benches: Dict[str, Dict] = dict(record.get("benches") or {})
+    baseline_benches: Dict[str, Dict] = dict(baseline.get("benches") or {})
+
+    for bench_key, entry in current_benches.items():
+        metrics = dict(entry.get("metrics") or {})
+        base_entry = baseline_benches.get(bench_key)
+        if base_entry is None:
+            for name, value in metrics.items():
+                deltas.append(MetricDelta(
+                    bench_key, name, None, value, None, "new",
+                    note="no baseline entry",
+                ))
+            continue
+        if (entry.get("scenario") or {}) != (base_entry.get("scenario") or {}):
+            for name, value in metrics.items():
+                deltas.append(MetricDelta(
+                    bench_key, name,
+                    (base_entry.get("metrics") or {}).get(name), value,
+                    None, "scenario-mismatch",
+                    note="baseline measured under a different budget",
+                ))
+            continue
+        base_metrics = dict(base_entry.get("metrics") or {})
+        for name, value in metrics.items():
+            old = base_metrics.get(name)
+            spec = _metric_spec(bench_key, name)
+            if old is None:
+                deltas.append(MetricDelta(
+                    bench_key, name, None, value, None, "new",
+                    note="metric not in baseline",
+                ))
+                continue
+            change = _relative_change(float(old), float(value))
+            if spec is None or spec.max_regression is None:
+                deltas.append(MetricDelta(
+                    bench_key, name, float(old), float(value), change, "info",
+                ))
+                continue
+            if not spec.violated(float(old), float(value)):
+                deltas.append(MetricDelta(
+                    bench_key, name, float(old), float(value), change, "ok",
+                ))
+            elif spec.noisy and not env_ok:
+                deltas.append(MetricDelta(
+                    bench_key, name, float(old), float(value), change, "flagged",
+                    note="noisy metric; environment fingerprint differs",
+                ))
+            else:
+                deltas.append(MetricDelta(
+                    bench_key, name, float(old), float(value), change, "regressed",
+                    note="policy: max regression %s"
+                    % ("any" if spec.max_regression == 0.0
+                       else "%.0f%%" % (100 * spec.max_regression)),
+                ))
+        # Gated metrics that vanished from the current record fail.
+        for name, old in base_metrics.items():
+            if name in metrics:
+                continue
+            spec = _metric_spec(bench_key, name)
+            gated = spec is not None and spec.max_regression is not None
+            deltas.append(MetricDelta(
+                bench_key, name, float(old), None, None,
+                "missing" if gated else "info",
+                note="metric disappeared from the current record",
+            ))
+    return deltas
+
+
+def violations(deltas: List[MetricDelta]) -> List[MetricDelta]:
+    return [delta for delta in deltas if delta.failed]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return "%d" % int(value)
+    return "%.4g" % value
+
+
+def _fmt_change(change: Optional[float]) -> str:
+    return "-" if change is None else "%+.1f%%" % (100.0 * change)
+
+
+def render_bench_report(
+    record: Dict[str, object],
+    deltas: Optional[List[MetricDelta]],
+    baseline_path: Optional[Union[str, Path]] = None,
+    record_path: Optional[Union[str, Path]] = None,
+) -> str:
+    """The ``BENCH_REPORT.md`` text for one pass (baseline optional)."""
+    environment = record.get("environment") or {}
+    lines = ["# Benchmark report", ""]
+    if record_path is not None:
+        lines.append("- record: `%s`" % record_path)
+    lines.append("- profile: `%s`" % record.get("profile", "custom"))
+    lines.append("- environment: %s" % ", ".join(
+        "%s=%s" % (key, environment.get(key)) for key in _ENV_KEYS
+    ))
+    if baseline_path is not None:
+        lines.append("- baseline: `%s`" % baseline_path)
+    lines.append("")
+
+    lines.append("## Measured metrics")
+    lines.append("")
+    rows = []
+    for bench_key, entry in (record.get("benches") or {}).items():
+        for name, value in (entry.get("metrics") or {}).items():
+            spec = _metric_spec(bench_key, name)
+            unit = spec.unit if spec is not None else ""
+            rows.append([
+                "`%s`" % bench_key, "`%s`" % name, _fmt(float(value)), unit,
+            ])
+    lines.extend(_md_table(["bench", "metric", "value", "unit"], rows))
+    lines.append("")
+
+    if deltas is None:
+        lines.append("No baseline record found; nothing to compare against.")
+        lines.append("")
+        return "\n".join(lines)
+
+    lines.append("## Delta vs baseline")
+    lines.append("")
+    rows = [
+        [
+            "`%s`" % delta.bench, "`%s`" % delta.metric,
+            _fmt(delta.baseline), _fmt(delta.current),
+            _fmt_change(delta.change), delta.status,
+            delta.note or "",
+        ]
+        for delta in deltas
+    ]
+    lines.extend(_md_table(
+        ["bench", "metric", "baseline", "current", "change", "status", "note"],
+        rows,
+    ))
+    lines.append("")
+    failed = violations(deltas)
+    flagged = [delta for delta in deltas if delta.status == "flagged"]
+    if failed:
+        lines.append("**%d policy violation(s).**" % len(failed))
+    elif flagged:
+        lines.append("No hard violations; %d noisy metric(s) flagged "
+                     "(environment fingerprint differs)." % len(flagged))
+    else:
+        lines.append("No policy violations.")
+    lines.append("")
+    return "\n".join(lines)

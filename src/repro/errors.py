@@ -19,6 +19,7 @@ __all__ = [
     "UnknownWorkloadError",
     "UnknownMechanismError",
     "UnknownFigureError",
+    "UnknownBenchError",
     "UnknownEngineError",
     "UnknownOverrideError",
     "UnknownAttackConfigurationError",
@@ -95,6 +96,12 @@ class UnknownFigureError(RegistryLookupError):
     """No paper figure/table spec is registered under this key."""
 
     kind = "figure"
+
+
+class UnknownBenchError(RegistryLookupError):
+    """No benchmark spec is registered under this key."""
+
+    kind = "benchmark"
 
 
 class UnknownEngineError(RegistryLookupError):

@@ -179,6 +179,11 @@ class _Handler(BaseHTTPRequestHandler):
         closes itself once a ``state: done``/``failed`` event goes out, so
         ``curl -N`` and the bundled client both terminate cleanly.
         ``Last-Event-ID`` resumes after the given line index.
+
+        A terminal job with nothing left to replay also closes immediately:
+        without that check, a client reconnecting with the terminal event's
+        own id (offset past the end of ``events.jsonl``) — or replaying a
+        job that failed before emitting any event — would poll forever.
         """
         offset = 0
         last_id = self.headers.get("Last-Event-ID")
@@ -196,6 +201,18 @@ class _Handler(BaseHTTPRequestHandler):
                     self._write_chunk(format_event(event, event_id=offset))
                     offset += 1
                     if event.get("event") == "state" and event.get("state") in TERMINAL_STATES:
+                        self._write_chunk(b"")
+                        return
+                if not events:
+                    record = self.service.job(job_id)
+                    if record is None or record.state in TERMINAL_STATES:
+                        # The worker saves the terminal state before appending
+                        # the terminal event; one grace poll drains an append
+                        # that is still in flight, then the stream closes.
+                        time.sleep(self.poll_interval)
+                        for event in self.service.store.read_events(job_id, offset):
+                            self._write_chunk(format_event(event, event_id=offset))
+                            offset += 1
                         self._write_chunk(b"")
                         return
                 time.sleep(self.poll_interval)

@@ -19,6 +19,7 @@ DOCS_DIR = REPO_ROOT / "docs"
 REPRODUCING = DOCS_DIR / "reproducing-the-paper.md"
 ARCHITECTURE = DOCS_DIR / "architecture.md"
 ENGINES_DOC = DOCS_DIR / "engines.md"
+BENCHMARKING_DOC = DOCS_DIR / "benchmarking.md"
 
 #: Figure-guide sections look like ``### `fig6` — ...``.
 GUIDE_HEADING = re.compile(r"^### `([a-z0-9_]+)`", re.MULTILINE)
@@ -53,6 +54,7 @@ class TestArchitectureDoc:
         "repro.secure", "repro.sim", "repro.sim.engines", "repro.figures",
         "repro.workloads", "repro.core", "repro.crypto", "repro.attacks",
         "repro.analysis", "repro.fuzz", "repro.traces", "repro.server",
+        "repro.bench",
     ])
     def test_every_layer_is_described(self, layer):
         assert layer in ARCHITECTURE.read_text()
@@ -77,6 +79,19 @@ class TestEnginesDoc:
 
     def test_readme_has_a_choosing_an_engine_section(self):
         assert "Choosing an engine" in README.read_text()
+
+
+class TestBenchmarkingDoc:
+    def test_exists(self):
+        assert BENCHMARKING_DOC.is_file()
+
+    def test_readme_links_the_benchmarking_guide(self):
+        assert "docs/benchmarking.md" in README.read_text()
+
+    def test_documents_the_gate_and_the_record_file(self):
+        text = BENCHMARKING_DOC.read_text()
+        assert "repro bench" in text and "--check" in text
+        assert "BENCH_" in text and "BENCH_REPORT.md" in text
 
 
 class TestCommandDocumentation:
@@ -105,11 +120,11 @@ class TestCommandDocumentation:
 
 class TestPackageDocstrings:
     @pytest.mark.parametrize("module", [
-        "repro", "repro.analysis", "repro.attacks", "repro.cache",
-        "repro.controller", "repro.core", "repro.cpu", "repro.crypto",
-        "repro.dram", "repro.figures", "repro.fuzz", "repro.secure",
-        "repro.server", "repro.sim", "repro.sim.engines", "repro.traces",
-        "repro.workloads",
+        "repro", "repro.analysis", "repro.attacks", "repro.bench",
+        "repro.cache", "repro.controller", "repro.core", "repro.cpu",
+        "repro.crypto", "repro.dram", "repro.figures", "repro.fuzz",
+        "repro.secure", "repro.server", "repro.sim", "repro.sim.engines",
+        "repro.traces", "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):
         imported = __import__(module, fromlist=["__doc__"])

@@ -7,7 +7,10 @@ ports, no third-party HTTP stack.
 """
 
 import json
+import socket
 import threading
+import time
+from urllib.parse import urlsplit
 
 import pytest
 
@@ -337,3 +340,84 @@ class TestHTTP:
         assert record["state"] == "done"
         result = client.result(job["id"])
         assert "secddr_ctr+counters_per_line=32" in result["configurations"]
+
+
+class TestSSEEdgeCases:
+    """Replay/follow corner cases: streams must close, never poll forever."""
+
+    def _finished_job(self, client):
+        job = client.submit(dict(COMPARE_SPEC, workloads=["gcc"]))
+        full = list(client.events(job["id"]))
+        assert full[-1]["state"] == "done"
+        return job, full
+
+    def test_last_event_id_of_terminal_event_closes_with_no_replay(self, client):
+        job, full = self._finished_job(client)
+        # Reconnecting with the terminal event's own id leaves nothing to
+        # replay; the stream must close instead of following forever.
+        assert list(client.events(job["id"], last_event_id=full[-1]["_id"])) == []
+
+    def test_last_event_id_past_end_of_log_closes(self, client):
+        job, full = self._finished_job(client)
+        beyond = full[-1]["_id"] + 100
+        assert list(client.events(job["id"], last_event_id=beyond)) == []
+
+    def test_replay_of_job_that_failed_before_any_event(self, service, client):
+        # A job that died before the worker emitted anything: terminal
+        # record on disk, no events.jsonl at all.
+        record = service.store.create({"kind": "compare"})
+        record.state = "failed"
+        service.store.save(record)
+        assert list(client.events(record.id)) == []
+
+    def test_client_disconnect_mid_follow_keeps_the_server_alive(self, service, client):
+        record = service.store.create({"kind": "compare"})  # stays queued: follow mode
+        parts = urlsplit(client.base_url)
+        sock = socket.create_connection((parts.hostname, parts.port), timeout=10)
+        sock.sendall(
+            ("GET /jobs/%s/events HTTP/1.1\r\nHost: repro\r\n\r\n" % record.id).encode()
+        )
+        assert sock.recv(64)  # response headers arrived: the follow loop is live
+        sock.close()  # hang up mid-follow
+        # Wake the follower so it writes into the dead socket (BrokenPipeError
+        # must be swallowed, not take the handler thread down noisily).
+        service.store.append_event(record.id, {"event": "state", "state": "running"})
+        record.state = "failed"
+        service.store.save(record)
+        service.store.append_event(record.id, {"event": "state", "state": "failed"})
+        time.sleep(0.3)
+        # The server survived and still does real work afterwards.
+        assert client.health()["status"] == "ok"
+        job = client.submit(dict(COMPARE_SPEC, workloads=["gcc"]))
+        assert client.wait(job["id"])["state"] == "done"
+
+
+class TestBenchJobs:
+    def test_bench_validation_rejects_unknown_bench(self):
+        # Registry errors propagate as-is (the HTTP layer maps them to 400),
+        # matching how unknown configurations/workloads are reported.
+        from repro.errors import UnknownBenchError
+
+        with pytest.raises(UnknownBenchError, match="table2"):
+            validate_request({"kind": "bench", "benches": ["tabel2"]})
+
+    def test_bench_validation_requires_boolean_smoke(self):
+        with pytest.raises(RequestError, match="smoke"):
+            validate_request({"kind": "bench", "benches": ["table2"], "smoke": "yes"})
+
+    def test_bench_job_runs_and_writes_artifacts(self, service):
+        service.start()
+        record = service.submit({"kind": "bench", "benches": ["table2"], "smoke": True})
+        finished = service.wait(record.id, timeout=120)
+        assert finished.state == "done"
+        payload = json.loads(service.store.result_path(record.id).read_bytes())
+        assert payload["kind"] == "bench"
+        assert payload["benches"] == ["table2"]
+        assert payload["profile"] == "smoke"
+        assert "trends_passed" in payload["metrics"]["table2"]
+        names = payload["artifacts"]
+        assert "BENCH_REPORT.md" in names
+        assert any(n.startswith("BENCH_") and n.endswith(".json") for n in names)
+        artifacts_dir = service.store.artifacts_dir(record.id)
+        # Exactly the listed artifacts — no lock sidecars or temp files.
+        assert sorted(p.name for p in artifacts_dir.iterdir()) == sorted(names)
