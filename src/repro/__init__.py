@@ -34,6 +34,11 @@ substrate its evaluation depends on:
   :class:`~repro.bench.BenchSpec` per ``benchmarks/`` script, metric-level
   regression policies, file-locked ``BENCH_<date>.json`` records and the
   ``repro bench --check`` CI gate (see ``docs/benchmarking.md``).
+* :mod:`repro.obs` -- unified observability: labelled metrics with exact
+  cross-process aggregation (``GET /metrics`` Prometheus exposition),
+  hierarchical ``perf_counter`` spans exportable to Chrome trace format
+  (``--trace-out`` / ``repro obs export-trace``), and structured JSON
+  logging (``--log-level`` / ``--log-json``; see ``docs/observability.md``).
 
 Reproduce the whole paper (see ``docs/reproducing-the-paper.md``)::
 
@@ -85,7 +90,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Session",

@@ -135,6 +135,37 @@ class Session:
         self.baseline = baseline
         return self
 
+    def with_observability(
+        self,
+        metrics: bool = True,
+        trace_out: Optional[Union[str, Path]] = None,
+    ) -> "Session":
+        """Enable observability for everything this session runs.
+
+        ``metrics=True`` installs a live :class:`repro.obs.MetricsRegistry`
+        (process-global, like the CLI flags); read it back with
+        :meth:`metrics_summary` or :func:`repro.obs.render_prometheus`.
+        ``trace_out`` additionally streams hierarchical spans as JSONL to
+        the given path (convert with ``repro obs export-trace``).  Neither
+        changes any simulation result or cache key -- instrumentation is
+        observational only.
+        """
+        from repro import obs
+
+        if metrics:
+            obs.enable()
+        if trace_out is not None:
+            previous = obs.set_tracer(obs.Tracer(trace_out))
+            if previous is not None:
+                previous.close()
+        return self
+
+    def metrics_summary(self) -> Dict[str, object]:
+        """The active registry's flat summary (empty when metrics are off)."""
+        from repro import obs
+
+        return obs.get_registry().summary()
+
     def with_engine(self, engine: Optional[EngineLike]) -> "Session":
         """Select the simulation engine for every run this session executes.
 

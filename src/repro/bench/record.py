@@ -186,6 +186,7 @@ def merge_bench_record(
     entries: Dict[str, Dict[str, object]],
     profile: str = "custom",
     environment: Optional[Dict[str, object]] = None,
+    observability: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Merge ``entries`` into the record at ``path`` under a file lock.
 
@@ -193,6 +194,10 @@ def merge_bench_record(
     read-merge-write cycle holds the lock, and the final write is an atomic
     rename, so concurrent merges (two CI jobs, two benchmark scripts)
     serialize instead of clobbering each other.  Returns the merged record.
+
+    ``observability`` (a :meth:`repro.obs.MetricsRegistry.summary` dict)
+    is stored verbatim under the record's ``"observability"`` key when the
+    run had metrics enabled; it is informational, never gated.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -207,6 +212,8 @@ def merge_bench_record(
         record["schema"] = RECORD_SCHEMA_VERSION
         record["profile"] = profile
         record["environment"] = environment or environment_fingerprint()
+        if observability:
+            record["observability"] = observability
         benches = dict(record.get("benches") or {})
         benches.update(entries)
         record["benches"] = benches

@@ -386,6 +386,63 @@ def _run_server(ctx: BenchContext) -> Dict[str, float]:
     }
 
 
+def _run_obs(ctx: BenchContext) -> Dict[str, float]:
+    from repro import obs
+    from repro.sim.experiment import ExperimentConfig
+    from repro.sim.runner import ParallelRunner, ResultCache, SimulationJob
+
+    accesses = ctx.timing_accesses
+    experiment = ExperimentConfig(num_accesses=accesses, num_cores=_TIMING_CORES)
+    job = SimulationJob(
+        configuration=_TIMING_CONFIGURATION,
+        workload=_TIMING_WORKLOAD,
+        experiment=experiment,
+    )
+
+    def cold_pass():
+        # Fresh cache per pass so every timed pass actually simulates; the
+        # instrumented run path (runner + cache + engine spans) is what is
+        # being timed, not a cache hit.
+        with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+            runner = ParallelRunner(jobs=1, cache=ResultCache(tmp))
+            return runner.run([job])[0]
+
+    off_seconds, off_result = _best_of(cold_pass, ctx.rounds)
+
+    previous_registry = obs.set_registry(obs.MetricsRegistry())
+    previous_tracer = obs.set_tracer(obs.Tracer())
+    try:
+        on_seconds, on_result = _best_of(cold_pass, ctx.rounds)
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_registry(previous_registry)
+
+    return {
+        "off_accesses_per_second": round(accesses / off_seconds, 1),
+        "on_accesses_per_second": round(accesses / on_seconds, 1),
+        "overhead_ratio": round(on_seconds / off_seconds, 4),
+        "parity_exact": _parity(off_result, on_result),
+    }
+
+
+register_bench(BenchSpec(
+    key="obs",
+    title="Observability overhead guard",
+    description="Cold single-job runner passes with metrics+tracing off vs "
+    "on; gates the on/off overhead ratio and result parity so the "
+    "zero-overhead-when-off contract stays honest.",
+    source="bench_obs_overhead.py",
+    metrics=(
+        MetricSpec("off_accesses_per_second", unit="acc/s", noisy=True),
+        MetricSpec("on_accesses_per_second", unit="acc/s", noisy=True),
+        MetricSpec("overhead_ratio", unit="x", higher_is_better=False,
+                   max_regression=0.25, noisy=True),
+        MetricSpec("parity_exact", unit="bool", max_regression=0.0),
+    ),
+    run=_run_obs,
+))
+
+
 register_bench(BenchSpec(
     key="server",
     title="HTTP service transport overhead",

@@ -50,12 +50,15 @@ the detection matrix, and writes a JSONL corpus plus artifacts.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import os
 import sys
 import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+from repro import obs
 
 from repro.analysis.power import table2_power_overheads
 from repro.analysis.scalability import scalability_sweep
@@ -106,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SecDDR reproduction: experiments, attacks, and analytical models.",
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--log-level", default=None, choices=list(obs.log.LEVELS),
+        help="stderr log level (default: warning; --verbose implies info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as one JSON object per line instead of plain text",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -159,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_argument(compare)
     _add_set_argument(compare)
     _add_engine_argument(compare)
+    _add_trace_argument(compare)
     _add_runner_arguments(compare)
 
     sweep = subparsers.add_parser(
@@ -180,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_argument(sweep)
     _add_set_argument(sweep)
     _add_engine_argument(sweep)
+    _add_trace_argument(sweep)
     _add_runner_arguments(sweep)
 
     reproduce = subparsers.add_parser(
@@ -216,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_seed_argument(reproduce)
     _add_engine_argument(reproduce)
+    _add_trace_argument(reproduce)
     _add_runner_arguments(
         reproduce,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
@@ -367,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         "noisy timing metrics only gate under a matching environment "
         "fingerprint — mismatches are flagged in the report instead)",
     )
+    _add_trace_argument(bench)
     _add_runner_arguments(
         bench,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
@@ -398,6 +413,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared result-cache directory (default: $REPRO_CACHE_DIR if "
         "set, otherwise <workdir>/cache)",
     )
+    _add_trace_argument(serve)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="observability tools: export --trace-out JSONL spans to the "
+        "Chrome trace-event format (Perfetto-viewable)",
+    )
+    obs_commands = obs_parser.add_subparsers(dest="obs_command", required=True)
+    export_trace = obs_commands.add_parser(
+        "export-trace",
+        help="convert a span JSONL file to Chrome trace-event JSON",
+    )
+    export_trace.add_argument("source", help="span JSONL file written by --trace-out")
+    export_trace.add_argument("dest", help="Chrome trace-event JSON output path")
 
     parser.epilog = "commands:\n" + "\n".join(
         "  %-12s %s" % (name, summary) for name, summary in command_summaries(parser)
@@ -457,6 +486,15 @@ def _add_set_argument(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write hierarchical spans as JSONL to PATH (also enables the "
+        "metrics registry); convert with 'repro obs export-trace' and open "
+        "the result in https://ui.perfetto.dev",
+    )
+
+
 def _add_engine_argument(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--engine", default=None, metavar="NAME",
@@ -498,6 +536,12 @@ def _build_cache(
     return ResultCache(cache_dir) if cache_dir else None
 
 
+#: Runner-facing CLI output goes through the structured logger (configured
+#: in :func:`main`); the default plain formatter keeps the text byte-exact
+#: with the historical prints, and ``--log-json`` re-shapes it for machines.
+_logger = obs.get_logger("repro.cli")
+
+
 def _build_progress(args: argparse.Namespace) -> Optional[ProgressHook]:
     if not args.verbose:
         return None
@@ -506,17 +550,35 @@ def _build_progress(args: argparse.Namespace) -> Optional[ProgressHook]:
         if event.status == "start":
             return
         suffix = "cache hit" if event.status == "cached" else "%.2fs" % event.elapsed_seconds
-        print("[%3d/%3d] %-28s %-14s %s"
-              % (event.index + 1, event.total, event.configuration, event.workload, suffix),
-              file=sys.stderr)
+        _logger.info("[%3d/%3d] %-28s %-14s %s",
+                     event.index + 1, event.total, event.configuration,
+                     event.workload, suffix)
 
     return _print_event
 
 
 def _print_cache_stats(args: argparse.Namespace, cache: Optional[ResultCache]) -> None:
     if cache is not None and args.verbose:
-        print("cache: %d hit(s), %d miss(es) in %s" % (cache.hits, cache.misses, cache.directory),
-              file=sys.stderr)
+        _logger.info("cache: %d hit(s), %d miss(es) in %s",
+                     cache.hits, cache.misses, cache.directory)
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Honor ``--trace-out``: tracer + metrics for the command's duration."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        yield None
+        return
+    obs.enable()
+    tracer = obs.Tracer(trace_out)
+    previous = obs.set_tracer(tracer)
+    try:
+        with tracer.span(args.command):
+            yield tracer
+    finally:
+        obs.set_tracer(previous)
+        tracer.close()
 
 
 def _split(value: str) -> List[str]:
@@ -1030,6 +1092,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         {entry.key: entry.to_payload() for entry in report.entries},
         profile=report.profile,
         environment=report.environment,
+        observability=(
+            obs.get_registry().summary() if obs.metrics_enabled() else None
+        ),
     )
     print("merged %d bench entr%s into %s"
           % (len(report.entries), "y" if len(report.entries) == 1 else "ies", record_path))
@@ -1079,6 +1144,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ExperimentService, make_server
 
+    # The service always runs with live metrics: GET /metrics is part of its
+    # HTTP surface, and the registry's overhead is a few counter bumps per
+    # job against experiments that run for seconds.
+    from repro import __version__
+
+    registry = obs.enable()
+    registry.gauge(
+        "repro_build_info", "Constant 1, labelled with the library version.",
+        version=__version__,
+    ).set(1)
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     service = ExperimentService(args.workdir, jobs=args.jobs, cache_dir=cache_dir)
     service.start()
@@ -1109,13 +1184,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "export-trace":
+        if not os.path.isfile(args.source):
+            print("error: no such trace file: %s" % args.source, file=sys.stderr)
+            return 2
+        count = obs.export_chrome_trace(args.source, args.dest)
+        print("exported %d span(s) to %s (open in https://ui.perfetto.dev)"
+              % (count, args.dest))
+        return 0
+    raise AssertionError("unhandled obs command %r" % args.obs_command)  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # --verbose implies info so the progress/cache lines (emitted through
+    # the logger with their historical text) still reach stderr.
+    level = args.log_level or ("info" if getattr(args, "verbose", False) else "warning")
+    obs.configure_logging(level, json_output=args.log_json)
     from repro.traces import TraceFormatError, TraceImportError
 
     try:
-        return _dispatch(args)
+        with _observability(args):
+            return _dispatch(args)
     except (
         RegistryLookupError,
         OverrideError,
@@ -1160,6 +1252,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_fuzz(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError("unhandled command %r" % args.command)  # pragma: no cover
 
 

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.figures.registry import resolve_figures
 from repro.figures.spec import FigureArtifact, FigureContext, FigureSpec
 from repro.sim.experiment import ExperimentConfig
@@ -66,6 +68,9 @@ class ReproductionReport:
     elapsed_seconds: float
     cache_directory: Optional[str] = None
     workload_filter: Optional[List[str]] = field(default=None)
+    #: :meth:`repro.obs.MetricsRegistry.summary` of the pass, when metrics
+    #: were enabled; rendered as an "Observability" section in REPORT.md.
+    metrics_summary: Optional[dict] = field(default=None)
 
     @property
     def artifacts(self) -> List[FigureArtifact]:
@@ -136,25 +141,28 @@ def reproduce(
         engine=engine,
     )
     try:
-        unique = collect_jobs(specs, ctx)
-        misses_before = cache.misses
-        runner = ParallelRunner(jobs=ctx.jobs, cache=cache, progress=progress)
-        runner.run(unique)
-        simulated = cache.misses - misses_before
+        with obs_tracing.span("reproduce", figures=len(specs)):
+            unique = collect_jobs(specs, ctx)
+            misses_before = cache.misses
+            runner = ParallelRunner(jobs=ctx.jobs, cache=cache, progress=progress)
+            runner.run(unique)
+            simulated = cache.misses - misses_before
 
-        outcomes: List[FigureOutcome] = []
-        build_misses_before = cache.misses
-        for spec in specs:
-            build_started = time.perf_counter()
-            artifact = spec.build(ctx)
-            outcomes.append(
-                FigureOutcome(spec, artifact, time.perf_counter() - build_started)
-            )
-        build_misses = cache.misses - build_misses_before
+            outcomes: List[FigureOutcome] = []
+            build_misses_before = cache.misses
+            for spec in specs:
+                build_started = time.perf_counter()
+                with obs_tracing.span("figure", key=spec.key):
+                    artifact = spec.build(ctx)
+                outcomes.append(
+                    FigureOutcome(spec, artifact, time.perf_counter() - build_started)
+                )
+            build_misses = cache.misses - build_misses_before
     finally:
         if ephemeral is not None:
             ephemeral.cleanup()
 
+    registry = obs_metrics.get_registry()
     return ReproductionReport(
         outcomes=outcomes,
         experiment=ctx.experiment,
@@ -165,4 +173,5 @@ def reproduce(
         elapsed_seconds=time.perf_counter() - started,
         cache_directory=None if ephemeral is not None else str(cache.directory),
         workload_filter=ctx.workload_filter,
+        metrics_summary=registry.summary() if obs_metrics.metrics_enabled() else None,
     )

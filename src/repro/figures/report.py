@@ -174,6 +174,21 @@ def render_report_markdown(report: ReproductionReport) -> str:
             ["result cache", report.cache_directory or "ephemeral (discarded)"],
         ],
     )
+    if report.metrics_summary:
+        lines += ["", "## Observability", ""]
+        lines += [
+            "Metrics collected during this pass (see `docs/observability.md`).",
+            "",
+        ]
+        metric_rows = []
+        for name in sorted(report.metrics_summary):
+            value = report.metrics_summary[name]
+            if isinstance(value, dict):
+                rendered = "count=%s sum=%s" % (value.get("count"), value.get("sum"))
+            else:
+                rendered = "%g" % value
+            metric_rows.append(["`%s`" % name, rendered])
+        lines += _md_table(["metric", "value"], metric_rows)
     lines += ["", "## Figures", ""]
     index_rows = []
     for outcome in report.outcomes:

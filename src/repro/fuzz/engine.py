@@ -316,7 +316,9 @@ class FuzzCampaign:
         counters = {"executed": 0, "cached": 0}
 
         def count_events(event: JobEvent) -> None:
-            if event.status == "done":
+            # "failed" jobs executed too (in capture mode they ran and
+            # raised); counting only "done" would under-report executed work.
+            if event.status in ("done", "failed"):
                 counters["executed"] += 1
             elif event.status == "cached":
                 counters["cached"] += 1

@@ -1,0 +1,60 @@
+"""Unified observability: metrics, tracing, and structured logging.
+
+Three stdlib-only pillars, all zero-overhead when off (see
+``docs/observability.md`` for the metric catalogue and span model):
+
+* :mod:`repro.obs.metrics` -- a thread-safe registry of labelled counters,
+  gauges and histograms.  The default registry is a no-op
+  :class:`~repro.obs.metrics.NullRegistry`; :func:`enable` swaps in a live
+  one.  Worker processes ship :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+  payloads back with results so parent-side aggregation is exact, and
+  :func:`render_prometheus` backs ``GET /metrics`` on ``repro serve``.
+* :mod:`repro.obs.tracing` -- hierarchical spans
+  (reproduce -> figure -> matrix -> job -> engine-chunk) on a single
+  ``perf_counter`` timebase, emitted as JSONL via ``--trace-out`` and
+  exportable to Chrome trace-event format (Perfetto-viewable) with
+  ``repro obs export-trace``.
+* :mod:`repro.obs.log` -- a JSON log formatter plus ``--log-level`` /
+  ``--log-json`` wiring that replaces bare prints in the server and runner
+  verbose paths without changing their default byte-exact text output.
+"""
+
+from repro.obs.log import JsonFormatter, configure_logging, get_logger
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    metrics_enabled,
+    render_prometheus,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Tracer,
+    current_tracer,
+    export_chrome_trace,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "enable",
+    "disable",
+    "get_registry",
+    "set_registry",
+    "metrics_enabled",
+    "render_prometheus",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+    "export_chrome_trace",
+    "JsonFormatter",
+    "configure_logging",
+    "get_logger",
+]

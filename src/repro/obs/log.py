@@ -1,0 +1,71 @@
+"""Structured logging for the repro toolchain.
+
+Every module logs through ``get_logger(__name__)``; :func:`configure_logging`
+installs exactly one stderr handler on the ``"repro"`` root logger.  The
+default formatter is a bare ``%(message)s`` so existing CLI output (progress
+lines, cache statistics, server lifecycle messages) keeps its byte-exact
+text; ``--log-json`` swaps in :class:`JsonFormatter`, which emits one JSON
+object per line with wall-clock timestamps (timestamps are the one place
+wall-clock time is correct -- durations everywhere else use
+``time.perf_counter``).
+"""
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger", "LEVELS"]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_ROOT_NAME = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, message."""
+
+    def format(self, record):
+        payload = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        extra = getattr(record, "context", None)
+        if extra:
+            payload["context"] = extra
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name):
+    """A logger under the ``repro`` hierarchy (idempotent)."""
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(_ROOT_NAME + "." + name)
+
+
+def configure_logging(level="warning", json_output=False, stream=None):
+    """Install the single ``repro`` stderr handler (idempotent).
+
+    Re-running replaces the previous handler, so tests and long-lived
+    sessions can reconfigure freely.  Returns the root ``repro`` logger.
+    """
+    if level not in LEVELS:
+        raise ValueError(
+            "unknown log level %r (expected one of %s)" % (level, ", ".join(LEVELS))
+        )
+    root = logging.getLogger(_ROOT_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_output:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    root.propagate = False
+    return root

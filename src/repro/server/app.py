@@ -5,7 +5,8 @@ A thin router over :class:`~repro.server.service.ExperimentService`:
 ======  ============================  ===========================================
 method  path                          behaviour
 ======  ============================  ===========================================
-GET     /health                       liveness + version
+GET     /health                       liveness, version, uptime, queue + job counts
+GET     /metrics                      Prometheus text exposition (repro.obs)
 GET     /registries                   machine-readable registry dump
 POST    /jobs                         submit a job spec (201 + record)
 GET     /jobs                         every job record, submission order
@@ -31,6 +32,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.errors import RegistryLookupError
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
 from repro.overrides import OverrideError
 from repro.server.jobstore import TERMINAL_STATES
 from repro.server.schemas import RequestError, dump_payload, registries_payload
@@ -38,6 +41,8 @@ from repro.server.service import ExperimentService
 from repro.server.sse import format_event
 
 __all__ = ["ExperimentHTTPServer", "make_server"]
+
+logger = get_logger(__name__)
 
 _CONTENT_TYPES = {
     ".json": "application/json",
@@ -69,7 +74,8 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the caller's business, not stderr's
+        # Off by default (stderr stays quiet); visible with --log-level debug.
+        logger.debug("%s - %s", self.address_string(), format % args)
 
     def _send_bytes(self, status: int, body: bytes, content_type: str = "application/json") -> None:
         self.send_response(status)
@@ -92,6 +98,10 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        obs_metrics.get_registry().counter(
+            "server_requests_total", "HTTP requests by endpoint and method.",
+            endpoint="jobs", method="POST",
+        ).inc()
         if self.path.rstrip("/") != "/jobs":
             self._send_error(404, "unknown endpoint %r" % self.path)
             return
@@ -112,10 +122,21 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_get(self) -> None:
         parts = [part for part in self.path.split("?")[0].split("/") if part]
+        # Coarse endpoint label (first path segment) keeps the metric's
+        # cardinality bounded: every /jobs/{id}/... shape counts as "jobs".
+        obs_metrics.get_registry().counter(
+            "server_requests_total", "HTTP requests by endpoint and method.",
+            endpoint=parts[0] if parts else "root", method="GET",
+        ).inc()
         if parts == ["health"]:
             from repro import __version__
 
-            self._send_json(200, {"status": "ok", "version": __version__})
+            payload = {"status": "ok", "version": __version__}
+            payload.update(self.service.health_payload())
+            self._send_json(200, payload)
+        elif parts == ["metrics"]:
+            body = obs_metrics.render_prometheus().encode("utf-8")
+            self._send_bytes(200, body, "text/plain; version=0.0.4; charset=utf-8")
         elif parts == ["registries"]:
             self._send_json(200, registries_payload())
         elif parts == ["jobs"]:

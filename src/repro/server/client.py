@@ -75,7 +75,13 @@ class Client:
 
     # -- endpoints ------------------------------------------------------
     def health(self) -> Dict[str, object]:
+        """The enriched liveness payload: status, version, uptime_seconds,
+        queue_depth, current_job, and cumulative ``jobs`` counts."""
         return self._json("/health")
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``)."""
+        return self._request("/metrics").decode("utf-8")
 
     def registries(self) -> Dict[str, object]:
         return self._json("/registries")

@@ -28,6 +28,9 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.log import get_logger
 from repro.server.jobstore import JobRecord, JobStore
 from repro.server.schemas import (
     configuration_from_payload,
@@ -40,6 +43,8 @@ from repro.overrides import derived_configurations, parse_overrides
 from repro.sim.runner import JobEvent, JobFailedError, ResultCache
 
 __all__ = ["ExperimentService"]
+
+logger = get_logger(__name__)
 
 
 class ExperimentService:
@@ -69,6 +74,12 @@ class ExperimentService:
         self._condition = threading.Condition()
         self._stopping = False
         self._worker: Optional[threading.Thread] = None
+        # Health/metrics bookkeeping: perf_counter for the uptime duration
+        # (wall-clock is reserved for timestamps), cumulative job counts by
+        # terminal state, and the id of the job the worker is executing.
+        self._started_monotonic = time.perf_counter()
+        self._stats: Dict[str, int] = {"queued": 0, "done": 0, "failed": 0}
+        self._current_job_id: Optional[str] = None
         self._executors: Dict[str, Callable] = {
             "compare": self._execute_compare,
             "sweep": self._execute_sweep,
@@ -124,7 +135,17 @@ class ExperimentService:
             heapq.heappush(
                 self._queue, (-record.priority, next(self._sequence), record.id)
             )
+            self._stats["queued"] += 1
+            depth = len(self._queue)
             self._condition.notify()
+        logger.debug("queued job %s (kind=%s, depth=%d)", record.id, record.kind, depth)
+        registry = obs_metrics.get_registry()
+        registry.counter(
+            "server_jobs_total", "Service jobs by lifecycle state.", state="queued"
+        ).inc()
+        registry.gauge(
+            "server_queue_depth", "Jobs currently waiting in the priority queue."
+        ).set(depth)
 
     # -- introspection ---------------------------------------------------
     def job(self, job_id: str) -> Optional[JobRecord]:
@@ -132,6 +153,23 @@ class ExperimentService:
 
     def list_jobs(self) -> List[JobRecord]:
         return self.store.list()
+
+    def queue_depth(self) -> int:
+        with self._condition:
+            return len(self._queue)
+
+    def health_payload(self) -> Dict[str, object]:
+        """Liveness detail for ``GET /health``: uptime, queue, job counts."""
+        with self._condition:
+            depth = len(self._queue)
+            stats = dict(self._stats)
+            current = self._current_job_id
+        return {
+            "uptime_seconds": round(time.perf_counter() - self._started_monotonic, 6),
+            "queue_depth": depth,
+            "current_job": current,
+            "jobs": stats,
+        }
 
     def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
         """Poll until ``job_id`` reaches a terminal state (tests/CLI helper)."""
@@ -162,38 +200,64 @@ class ExperimentService:
         if record is None or record.state != "queued":
             return
         record.state = "running"
-        record.started_at = time.time()
+        record.started_at = time.time()  # wall-clock: this is a timestamp
+        started = time.perf_counter()
+        with self._condition:
+            self._current_job_id = job_id
+            obs_metrics.get_registry().gauge(
+                "server_queue_depth", "Jobs currently waiting in the priority queue."
+            ).set(len(self._queue))
         self.store.save(record)
         self.store.append_event(job_id, {"event": "state", "state": "running"})
-        try:
-            executor = self._executors[record.kind]
-            payload = executor(record)
-            self.store.write_result(job_id, dump_payload(payload))
-            record = self.store.load(job_id) or record
-            record.state = "done"
-        except JobFailedError as error:
-            record = self.store.load(job_id) or record
-            record.state = "failed"
-            record.error = {
-                "type": type(error).__name__,
-                "message": str(error),
-                "traceback": traceback_module.format_exc(),
-                "failures": [failure.payload() for failure in error.failures],
-            }
-        except Exception as error:  # noqa: BLE001 - one job must not kill the queue
-            record = self.store.load(job_id) or record
-            record.state = "failed"
-            record.error = {
-                "type": type(error).__name__,
-                "message": str(error),
-                "traceback": traceback_module.format_exc(),
-            }
-        record.finished_at = time.time()
+        logger.info("job %s running (kind=%s)", job_id, record.kind)
+        with obs_tracing.span("job", job_id=job_id, kind=record.kind):
+            try:
+                executor = self._executors[record.kind]
+                with obs_tracing.span("phase", phase="execute"):
+                    payload = executor(record)
+                with obs_tracing.span("phase", phase="persist"):
+                    self.store.write_result(job_id, dump_payload(payload))
+                record = self.store.load(job_id) or record
+                record.state = "done"
+            except JobFailedError as error:
+                record = self.store.load(job_id) or record
+                record.state = "failed"
+                record.error = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback_module.format_exc(),
+                    "failures": [failure.payload() for failure in error.failures],
+                }
+            except Exception as error:  # noqa: BLE001 - one job must not kill the queue
+                record = self.store.load(job_id) or record
+                record.state = "failed"
+                record.error = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "traceback": traceback_module.format_exc(),
+                }
+        elapsed = time.perf_counter() - started
+        record.finished_at = time.time()  # wall-clock: this is a timestamp
         self.store.save(record)
-        terminal = {"event": "state", "state": record.state}
+        with self._condition:
+            self._current_job_id = None
+            self._stats[record.state] = self._stats.get(record.state, 0) + 1
+        registry = obs_metrics.get_registry()
+        registry.counter(
+            "server_jobs_total", "Service jobs by lifecycle state.", state=record.state
+        ).inc()
+        registry.histogram(
+            "server_job_seconds", "End-to-end service job wall time.", kind=record.kind
+        ).observe(elapsed)
+        terminal = {
+            "event": "state",
+            "state": record.state,
+            "elapsed_seconds": round(elapsed, 6),
+        }
         if record.error is not None:
             terminal["error"] = record.error
         self.store.append_event(job_id, terminal)
+        logger.info("job %s %s in %.3fs", job_id, record.state, elapsed)
 
     # -- progress --------------------------------------------------------
     def _progress_hook(self, record: JobRecord):
@@ -388,11 +452,15 @@ class ExperimentService:
         )
         artifacts = self.store.artifacts_dir(record.id)
         record_path = default_record_path(artifacts)
+        registry = obs_metrics.get_registry()
         merged = merge_bench_record(
             record_path,
             {entry.key: entry.to_payload() for entry in report.entries},
             profile=report.profile,
             environment=report.environment,
+            observability=(
+                registry.summary() if obs_metrics.metrics_enabled() else None
+            ),
         )
         # The artifacts dir is private to this job, so no concurrent merge
         # can need the lock sidecar again; drop it from the listing.

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.errors import UnknownEngineError
+from repro.obs import tracing as obs_tracing
 
 __all__ = [
     "Engine",
@@ -853,7 +854,14 @@ def _simulate_batch(trace, spec, experiment):
     pf_streak = [0] * n_slots
     pf_sets = [set() for _ in range(n_slots)]
 
+    # Chunk refills are the batch engine's unit of work; when tracing is on
+    # each one becomes an "engine-chunk" span (child of the live "engine"
+    # span via the tracer's thread-local stack).  The guard keeps the
+    # traced-off replay loop free of any tracer work.
+    tracer = obs_tracing.current_tracer()
+
     def refill(c):
+        chunk_start = tracer.now() if tracer is not None else 0.0
         try:
             addrs_a, gap_list, gapdiv_list, write_list = next(core_chunks[c])
         except StopIteration:
@@ -885,6 +893,11 @@ def _simulate_batch(trace, spec, experiment):
                 col_mleaf[c] = np.minimum(meta_line_a, leaf_limit).tolist()
         core_idx[c] = 0
         core_len[c] = len(col_gap[c])
+        if tracer is not None:
+            tracer.record(
+                "engine-chunk", chunk_start, tracer.now() - chunk_start,
+                attrs={"core": c, "accesses": core_len[c]},
+            )
         return True
 
     def preview(c):

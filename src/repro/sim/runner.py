@@ -42,6 +42,8 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from repro.cpu.trace import MemoryTrace
 from repro.errors import AmbiguousConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
 from repro.secure.configs import (
     CONFIGURATIONS,
     ConfigurationLike,
@@ -336,8 +338,14 @@ class ResultCache:
             result = self._decode(data["result"])
         except (OSError, ValueError, TypeError, KeyError):
             self.misses += 1
+            obs_metrics.get_registry().counter(
+                "cache_ops_total", "Result-cache lookups by outcome.", op="miss"
+            ).inc()
             return None
         self.hits += 1
+        obs_metrics.get_registry().counter(
+            "cache_ops_total", "Result-cache lookups by outcome.", op="hit"
+        ).inc()
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
@@ -348,6 +356,9 @@ class ResultCache:
         tmp = final.with_name("%s.tmp.%d" % (final.name, os.getpid()))
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, final)
+        obs_metrics.get_registry().counter(
+            "cache_writes_total", "Result-cache entries written."
+        ).inc()
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed.
@@ -376,12 +387,58 @@ def _execute_job(job: SimulationJob) -> Tuple[SimulationResult, float]:
     """Worker entry point: simulate one job, returning (result, seconds)."""
     # Imported lazily: repro.sim.experiment imports this module at top level.
     from repro.sim.experiment import run_simulation
+    from repro.sim.engines import resolve_engine
 
+    engine_name = resolve_engine(job.engine).name
     started = time.perf_counter()
-    result = run_simulation(
-        job.workload, job.configuration, job.experiment, engine=job.engine
-    )
-    return result, time.perf_counter() - started
+    with obs_tracing.span(
+        "engine",
+        engine=engine_name,
+        configuration=job.configuration_name,
+        workload=job.workload_name,
+    ):
+        result = run_simulation(
+            job.workload, job.configuration, job.experiment, engine=job.engine
+        )
+    elapsed = time.perf_counter() - started
+    registry = obs_metrics.get_registry()
+    registry.counter(
+        "engine_jobs_total", "Simulations executed, by engine.", engine=engine_name
+    ).inc()
+    accesses = getattr(job.experiment, "num_accesses", 0)
+    if elapsed > 0 and accesses:
+        registry.gauge(
+            "engine_accesses_per_sec",
+            "Per-core replay throughput of the most recent job, by engine.",
+            engine=engine_name,
+        ).set(accesses / elapsed)
+    return result, elapsed
+
+
+def _shipped_execute(executor: Callable, job) -> Tuple[object, float, Dict]:
+    """Pool-side wrapper shipping worker-local metrics/spans with the result.
+
+    After ``fork`` a worker would only mutate a dead copy of the parent's
+    registry, and pool workers are reused across jobs -- so each job runs
+    against a *fresh* local registry and collector tracer, and the parent
+    merges the returned snapshot exactly once per job
+    (:meth:`ParallelRunner._consume`).  Aggregation is therefore exact.
+    Span timestamps are job-relative; the parent rebases them with
+    ``base = job_end - elapsed``.
+    """
+    registry = obs_metrics.MetricsRegistry()
+    previous_registry = obs_metrics.set_registry(registry)
+    collector = obs_tracing.Tracer()
+    previous_tracer = obs_tracing.set_tracer(collector)
+    try:
+        result, elapsed = executor(job)
+    finally:
+        obs_metrics.set_registry(previous_registry)
+        obs_tracing.set_tracer(previous_tracer)
+    return result, elapsed, {
+        "metrics": registry.snapshot(),
+        "spans": collector.drain(),
+    }
 
 
 class ParallelRunner:
@@ -436,41 +493,52 @@ class ParallelRunner:
         total = len(job_list)
         results: List[Optional[SimulationResult]] = [None] * total
         pending: List[Tuple[int, SimulationJob, Optional[str]]] = []
+        registry = obs_metrics.get_registry()
 
-        for index, job in enumerate(job_list):
-            key = job.cache_key() if self.cache is not None else None
-            cached = self.cache.get(key) if key is not None else None
-            if cached is not None:
-                results[index] = cached
-                self._emit(
-                    JobEvent(job.configuration_name, job.workload_name, "cached", index, total)
-                )
-            else:
-                pending.append((index, job, key))
+        with obs_tracing.span("matrix", jobs=total):
+            for index, job in enumerate(job_list):
+                key = job.cache_key() if self.cache is not None else None
+                cached = self.cache.get(key) if key is not None else None
+                if cached is not None:
+                    results[index] = cached
+                    registry.counter(
+                        "sim_jobs_total", "Simulation jobs by outcome.", state="cached"
+                    ).inc()
+                    self._emit(
+                        JobEvent(job.configuration_name, job.workload_name, "cached", index, total)
+                    )
+                else:
+                    pending.append((index, job, key))
 
-        if pending:
-            for index, job, _ in pending:
-                self._emit(
-                    JobEvent(job.configuration_name, job.workload_name, "start", index, total)
+            if pending:
+                for index, job, _ in pending:
+                    self._emit(
+                        JobEvent(job.configuration_name, job.workload_name, "start", index, total)
+                    )
+                pending_jobs = [job for _, job, _ in pending]
+                # Capture mode wraps the executor *inside* the worker, so a
+                # raising job comes back as a JobFailure value instead of
+                # poisoning the pool's result stream; raise mode keeps the
+                # historical path (the exception propagates at that job's turn).
+                executor = (
+                    functools.partial(_guarded_execute, self.executor)
+                    if self.failures == "capture" else self.executor
                 )
-            pending_jobs = [job for _, job, _ in pending]
-            # Capture mode wraps the executor *inside* the worker, so a
-            # raising job comes back as a JobFailure value instead of
-            # poisoning the pool's result stream; raise mode keeps the
-            # historical path (the exception propagates at that job's turn).
-            executor = (
-                functools.partial(_guarded_execute, self.executor)
-                if self.failures == "capture" else self.executor
-            )
-            if self.jobs == 1 or len(pending) == 1:
-                self._consume(pending, map(executor, pending_jobs), results, total)
-            else:
-                workers = min(self.jobs, len(pending))
-                with multiprocessing.Pool(processes=workers) as pool:
-                    # imap streams outcomes in job order as workers finish,
-                    # so progress events and cache writes happen per job
-                    # instead of all at once after the last job.
-                    self._consume(pending, pool.imap(executor, pending_jobs), results, total)
+                if self.jobs == 1 or len(pending) == 1:
+                    self._consume(pending, map(executor, pending_jobs), results, total)
+                else:
+                    workers = min(self.jobs, len(pending))
+                    # Workers mutate forked copies of the observability
+                    # globals, so when metrics or tracing are live their
+                    # local state is shipped back with each result and
+                    # merged parent-side (exact totals, rebased spans).
+                    if obs_metrics.metrics_enabled() or obs_tracing.tracing_enabled():
+                        executor = functools.partial(_shipped_execute, executor)
+                    with multiprocessing.Pool(processes=workers) as pool:
+                        # imap streams outcomes in job order as workers finish,
+                        # so progress events and cache writes happen per job
+                        # instead of all at once after the last job.
+                        self._consume(pending, pool.imap(executor, pending_jobs), results, total)
 
         if any(result is None for result in results):
             raise RuntimeError("runner left unfilled job slots")  # pragma: no cover
@@ -478,8 +546,35 @@ class ParallelRunner:
 
     def _consume(self, pending, outcomes, results, total) -> None:
         """Store streamed outcomes, write the cache, and emit 'done' events."""
-        for (index, job, key), (result, elapsed) in zip(pending, outcomes):
+        registry = obs_metrics.get_registry()
+        tracer = obs_tracing.current_tracer()
+        for (index, job, key), outcome in zip(pending, outcomes):
+            if len(outcome) == 3:
+                result, elapsed, shipped = outcome
+            else:
+                (result, elapsed), shipped = outcome, None
             results[index] = result
+            state = "failed" if isinstance(result, JobFailure) else "done"
+            registry.counter(
+                "sim_jobs_total", "Simulation jobs by outcome.", state=state
+            ).inc()
+            registry.histogram(
+                "sim_job_seconds", "Per-job simulation wall time.", state=state
+            ).observe(elapsed)
+            if shipped is not None:
+                registry.merge(shipped["metrics"])
+            if tracer is not None:
+                start = tracer.now() - elapsed
+                span_id = tracer.record(
+                    "job", start, elapsed,
+                    attrs={
+                        "configuration": job.configuration_name,
+                        "workload": job.workload_name,
+                        "status": state,
+                    },
+                )
+                if shipped is not None and shipped["spans"]:
+                    tracer.ingest(shipped["spans"], base=start, parent=span_id)
             if isinstance(result, JobFailure):
                 # Never cached: a retry after the bug is fixed must re-run.
                 self._emit(

@@ -20,6 +20,7 @@ REPRODUCING = DOCS_DIR / "reproducing-the-paper.md"
 ARCHITECTURE = DOCS_DIR / "architecture.md"
 ENGINES_DOC = DOCS_DIR / "engines.md"
 BENCHMARKING_DOC = DOCS_DIR / "benchmarking.md"
+OBSERVABILITY_DOC = DOCS_DIR / "observability.md"
 
 #: Figure-guide sections look like ``### `fig6` — ...``.
 GUIDE_HEADING = re.compile(r"^### `([a-z0-9_]+)`", re.MULTILINE)
@@ -54,7 +55,7 @@ class TestArchitectureDoc:
         "repro.secure", "repro.sim", "repro.sim.engines", "repro.figures",
         "repro.workloads", "repro.core", "repro.crypto", "repro.attacks",
         "repro.analysis", "repro.fuzz", "repro.traces", "repro.server",
-        "repro.bench",
+        "repro.bench", "repro.obs",
     ])
     def test_every_layer_is_described(self, layer):
         assert layer in ARCHITECTURE.read_text()
@@ -94,6 +95,33 @@ class TestBenchmarkingDoc:
         assert "BENCH_" in text and "BENCH_REPORT.md" in text
 
 
+class TestObservabilityDoc:
+    def test_exists(self):
+        assert OBSERVABILITY_DOC.is_file()
+
+    def test_readme_links_the_observability_guide(self):
+        assert "docs/observability.md" in README.read_text()
+
+    def test_documents_the_surfaces(self):
+        text = OBSERVABILITY_DOC.read_text()
+        assert "/metrics" in text and "--trace-out" in text
+        assert "export-trace" in text and "--log-json" in text
+        assert "perfetto" in text.lower()
+
+    def test_metric_catalogue_matches_the_instrumented_names(self):
+        # Every metric family the code registers must be catalogued.
+        text = OBSERVABILITY_DOC.read_text()
+        for family in (
+            "cache_ops_total", "cache_writes_total", "sim_jobs_total",
+            "sim_job_seconds", "engine_jobs_total", "engine_accesses_per_sec",
+            "server_jobs_total", "server_queue_depth", "server_job_seconds",
+            "server_requests_total", "repro_build_info",
+        ):
+            assert "`%s`" % family in text, (
+                "docs/observability.md does not catalogue %r" % family
+            )
+
+
 class TestCommandDocumentation:
     def test_command_summaries_cover_the_parser(self):
         names = [name for name, _ in command_summaries()]
@@ -123,8 +151,8 @@ class TestPackageDocstrings:
         "repro", "repro.analysis", "repro.attacks", "repro.bench",
         "repro.cache", "repro.controller", "repro.core", "repro.cpu",
         "repro.crypto", "repro.dram", "repro.figures", "repro.fuzz",
-        "repro.secure", "repro.server", "repro.sim", "repro.sim.engines",
-        "repro.traces", "repro.workloads",
+        "repro.obs", "repro.secure", "repro.server", "repro.sim",
+        "repro.sim.engines", "repro.traces", "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):
         imported = __import__(module, fromlist=["__doc__"])

@@ -1,0 +1,563 @@
+"""Tests for :mod:`repro.obs`: metrics, tracing, structured logging.
+
+The load-bearing guarantees:
+
+* the default registry/tracer are no-ops, and enabling them never changes
+  simulation results or cache keys (observability is purely observational);
+* cross-process aggregation is *exact* -- worker snapshots merged by the
+  parent reproduce the counts a single-process run would have recorded;
+* ``GET /metrics`` is valid Prometheus text exposition format 0.0.4;
+* exported Chrome traces are valid JSON whose job spans sum within the
+  enclosing span's wall time.
+"""
+
+import io
+import json
+import logging
+import re
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, _NULL_CHILD
+from repro.sim.experiment import ExperimentConfig, run_comparison
+from repro.sim.runner import ParallelRunner, ResultCache, SimulationJob
+
+FAST = ExperimentConfig(num_accesses=240, num_cores=1)
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Every test starts and ends with observability fully off."""
+    obs.disable()
+    previous = obs.set_tracer(None)
+    if previous is not None:
+        previous.close()
+    yield
+    obs.disable()
+    tracer = obs.set_tracer(None)
+    if tracer is not None:
+        tracer.close()
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("ops_total", "Ops.", op="hit").inc()
+        registry.counter("ops_total", op="hit").inc(2)
+        registry.counter("ops_total", op="miss").inc()
+        summary = registry.summary()
+        assert summary["ops_total{op=hit}"] == 3
+        assert summary["ops_total{op=miss}"] == 1
+
+    def test_gauge_is_last_write_wins(self):
+        registry = obs.MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert registry.summary()["depth"] == 4
+
+    def test_histogram_buckets_and_sum(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]  # <=0.1, <=1.0, +Inf
+        assert hist.count == 3
+        assert hist.total == pytest.approx(2.55)
+        assert registry.summary()["seconds"] == {"count": 3, "sum": 2.55}
+
+    def test_kind_mismatch_is_rejected(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_snapshot_merge_is_exact(self):
+        worker = obs.MetricsRegistry()
+        worker.counter("jobs_total", state="done").inc(3)
+        worker.gauge("depth").set(7)
+        worker.histogram("seconds", buckets=(1.0,)).observe(0.5)
+
+        parent = obs.MetricsRegistry()
+        parent.counter("jobs_total", state="done").inc()
+        parent.merge(worker.snapshot())
+        parent.merge(worker.snapshot())
+
+        summary = parent.summary()
+        assert summary["jobs_total{state=done}"] == 7  # 1 + 3 + 3
+        assert summary["depth"] == 7  # gauges: last write wins
+        assert summary["seconds"] == {"count": 2, "sum": 1.0}
+
+    def test_snapshot_is_json_serializable(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("a_total", op="x").inc()
+        registry.histogram("b_seconds").observe(0.2)
+        # Label keys are tuples (not JSON), but the payload must pickle and
+        # round-trip structurally -- it crosses the multiprocessing boundary.
+        import pickle
+
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        fresh = obs.MetricsRegistry()
+        fresh.merge(snapshot)
+        assert fresh.summary() == registry.summary()
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = obs.MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.counter("spins_total", thread="any").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.summary()["spins_total{thread=any}"] == 8000
+
+
+class TestNullRegistry:
+    def test_default_registry_is_off_and_noop(self):
+        assert not obs.metrics_enabled()
+        registry = obs.get_registry()
+        child = registry.counter("anything_total", label="x")
+        assert child is _NULL_CHILD
+        child.inc()
+        child.observe(1.0)
+        child.set(2.0)
+        assert registry.summary() == {}
+        assert registry.snapshot() == {}
+        assert registry.families() == []
+
+    def test_enable_disable_roundtrip(self):
+        registry = obs.enable()
+        assert obs.metrics_enabled()
+        assert obs.enable() is registry  # idempotent
+        registry.counter("x_total").inc()
+        obs.disable()
+        assert not obs.metrics_enabled()
+        assert obs.get_registry().summary() == {}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+def parse_prometheus(text):
+    """Tiny exposition-format validator: returns {family: type}.
+
+    Raises AssertionError on any malformed line -- the same checks CI's
+    obs-smoke job runs against a live ``GET /metrics`` scrape.
+    """
+    families = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            assert len(line.split(None, 3)) == 4, line
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            assert kind in ("counter", "gauge", "histogram"), line
+            families[name] = kind
+        else:
+            assert _SAMPLE_RE.match(line), "malformed sample line: %r" % line
+    return families
+
+
+class TestPrometheusRender:
+    def test_families_types_and_samples(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("jobs_total", "Jobs.", state="done").inc(2)
+        registry.gauge("depth", "Queue depth.").set(3)
+        registry.histogram("seconds", "Latency.", buckets=(0.1, 1.0)).observe(0.5)
+        families = parse_prometheus(obs.render_prometheus(registry))
+        assert families == {
+            "jobs_total": "counter", "depth": "gauge", "seconds": "histogram",
+        }
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        text = obs.render_prometheus(registry)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("odd_total", label='quo"te\nnl').inc()
+        text = obs.render_prometheus(registry)
+        assert 'label="quo\\"te\\nnl"' in text
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_spans_nest_and_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = obs.Tracer(path)
+        with tracer.span("outer", kind="test") as outer_id:
+            with tracer.span("inner") as inner_id:
+                pass
+        tracer.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        # Spans are emitted on exit: inner first.
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert outer["id"] == outer_id and inner["id"] == inner_id
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"kind": "test"}
+        assert 0 <= inner["ts"] and inner["dur"] >= 0
+        assert outer["dur"] >= inner["dur"]
+
+    def test_record_retroactive_parents_under_active_span(self):
+        tracer = obs.Tracer()
+        with tracer.span("matrix") as matrix_id:
+            job_id = tracer.record("job", 0.5, 0.25, attrs={"status": "done"})
+        records = tracer.drain()
+        job = next(r for r in records if r["name"] == "job")
+        assert job["id"] == job_id
+        assert job["parent"] == matrix_id
+
+    def test_ingest_rebases_and_remaps_worker_records(self):
+        worker = obs.Tracer()
+        with worker.span("engine", engine="reference"):
+            pass
+        shipped = worker.drain()
+
+        parent = obs.Tracer()
+        job_id = parent.record("job", 1.0, 0.5)
+        parent.ingest(shipped, base=1.0, parent=job_id)
+        engine = next(r for r in parent.drain() if r["name"] == "engine")
+        assert engine["parent"] == job_id
+        assert engine["id"] != shipped[0]["id"] or shipped[0]["id"] > 1
+        assert engine["ts"] == pytest.approx(1.0 + shipped[0]["ts"])
+
+    def test_module_span_is_noop_when_off(self):
+        assert not obs.tracing_enabled()
+        with obs.span("anything", key="value") as span_id:
+            assert span_id is None
+
+    def test_module_span_routes_to_active_tracer(self):
+        tracer = obs.Tracer()
+        obs.set_tracer(tracer)
+        with obs.span("top") as span_id:
+            assert span_id is not None
+            assert tracer.current_span_id() == span_id
+        assert [r["name"] for r in tracer.drain()] == ["top"]
+
+
+class TestChromeExport:
+    def test_exports_complete_events_in_microseconds(self, tmp_path):
+        jsonl = tmp_path / "spans.jsonl"
+        tracer = obs.Tracer(jsonl)
+        with tracer.span("outer"):
+            with tracer.span("inner", step=1):
+                pass
+        tracer.close()
+
+        out = tmp_path / "chrome.json"
+        count = obs.export_chrome_trace(jsonl, out)
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert count == len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        inner = next(e for e in events if e["name"] == "inner")
+        outer = next(e for e in events if e["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert inner["args"]["step"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Structured logging
+# ---------------------------------------------------------------------------
+class TestStructuredLogging:
+    def test_json_formatter_emits_parseable_records(self):
+        stream = io.StringIO()
+        logger = obs.configure_logging("info", json_output=True, stream=stream)
+        logger.info("hello %s", "world")
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "hello world"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro"
+        assert isinstance(record["ts"], float)
+
+    def test_plain_mode_is_byte_exact_message_only(self):
+        stream = io.StringIO()
+        logger = obs.configure_logging("info", json_output=False, stream=stream)
+        logger.info("cache: %d hit(s), %d miss(es)", 6, 0)
+        assert stream.getvalue() == "cache: 6 hit(s), 0 miss(es)\n"
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        obs.configure_logging("warning", stream=stream)
+        child = obs.get_logger("repro.test_child")
+        child.info("dropped")
+        child.warning("kept")
+        assert stream.getvalue() == "kept\n"
+
+    def test_unknown_level_is_rejected(self):
+        with pytest.raises(ValueError):
+            obs.configure_logging("loud")
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert obs.get_logger("mine").name == "repro.mine"
+        assert obs.get_logger("repro.sim.runner").name == "repro.sim.runner"
+
+    def teardown_method(self):
+        # configure_logging mutates the shared "repro" logger; restore the
+        # library default so later tests see untouched logging.
+        obs.configure_logging("warning")
+        logging.getLogger("repro").handlers.clear()
+
+
+# ---------------------------------------------------------------------------
+# Runner integration: exact counts, zero-effect determinism
+# ---------------------------------------------------------------------------
+def _jobs(experiment=FAST):
+    return [
+        SimulationJob(configuration=c, workload=w, experiment=experiment)
+        for c in ("secddr_ctr", "integrity_tree_64")
+        for w in ("mcf", "gcc")
+    ]
+
+
+class TestRunnerMetrics:
+    def test_cold_then_warm_counts_are_exact(self, tmp_path):
+        registry = obs.enable()
+        cache = ResultCache(tmp_path)
+        ParallelRunner(jobs=1, cache=cache).run(_jobs())
+        summary = registry.summary()
+        assert summary["cache_ops_total{op=miss}"] == 4
+        assert summary["sim_jobs_total{state=done}"] == 4
+        assert summary["cache_writes_total"] == 4
+        assert summary["engine_jobs_total{engine=reference}"] == 4
+        assert summary["sim_job_seconds{state=done}"]["count"] == 4
+
+        ParallelRunner(jobs=1, cache=cache).run(_jobs())
+        summary = registry.summary()
+        assert summary["cache_ops_total{op=hit}"] == 4
+        assert summary["sim_jobs_total{state=cached}"] == 4
+        # hit + miss == total jobs across both passes
+        assert (
+            summary["cache_ops_total{op=hit}"] + summary["cache_ops_total{op=miss}"]
+            == 8
+        )
+
+    def test_pool_path_ships_worker_metrics_exactly(self, tmp_path):
+        registry = obs.enable()
+        cache = ResultCache(tmp_path)
+        ParallelRunner(jobs=2, cache=cache).run(_jobs())
+        summary = registry.summary()
+        # The cache is consulted in the parent; the engine runs in workers.
+        # Both tallies must agree exactly with the job count.
+        assert summary["cache_ops_total{op=miss}"] == 4
+        assert summary["engine_jobs_total{engine=reference}"] == 4
+        assert summary["sim_jobs_total{state=done}"] == 4
+        assert "engine_accesses_per_sec{engine=reference}" in summary
+
+    def test_pool_spans_are_reparented_under_job_spans(self, tmp_path):
+        obs.enable()
+        tracer = obs.Tracer(tmp_path / "trace.jsonl")
+        obs.set_tracer(tracer)
+        ParallelRunner(jobs=2, cache=ResultCache(tmp_path / "cache")).run(_jobs())
+        obs.set_tracer(None)
+        tracer.close()
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "trace.jsonl").read_text().splitlines()
+        ]
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        assert len(by_name["matrix"]) == 1
+        assert len(by_name["job"]) == 4
+        assert len(by_name["engine"]) == 4
+        matrix_id = by_name["matrix"][0]["id"]
+        job_ids = {r["id"] for r in by_name["job"]}
+        assert all(r["parent"] == matrix_id for r in by_name["job"])
+        assert all(r["parent"] in job_ids for r in by_name["engine"])
+        assert all(r["ts"] >= 0 for r in records)
+        # Job spans sum within the enclosing matrix span's wall time (each
+        # worker's measured elapsed can only overlap, never exceed in sum
+        # beyond worker-count x matrix duration; with 2 workers use that).
+        matrix = by_name["matrix"][0]
+        assert sum(r["dur"] for r in by_name["job"]) <= 2 * matrix["dur"] + 1e-6
+
+    def test_failed_jobs_carry_elapsed_and_count_as_failed(self):
+        from repro.workloads.registry import REGISTRY
+
+        def _raising_builder(num_accesses=0, seed=0):
+            raise ValueError("synthetic obs failure")
+
+        REGISTRY.register(
+            "obs-boom", _raising_builder, cache_token="obs-boom-v1", mpki=50.0
+        )
+        registry = obs.enable()
+        events = []
+        try:
+            from repro.sim.runner import JobFailedError
+
+            with pytest.raises(JobFailedError):
+                run_comparison(
+                    ["secddr_xts"], ["obs-boom"], experiment=FAST,
+                    progress=events.append, failures="capture",
+                )
+        finally:
+            REGISTRY.unregister("obs-boom")
+        failed = [e for e in events if e.status == "failed"]
+        assert failed, "no failed events emitted"
+        # The bugfix under test: "failed" events carry elapsed like "done".
+        assert all(e.elapsed_seconds > 0 for e in failed)
+        summary = registry.summary()
+        assert summary["sim_jobs_total{state=failed}"] == len(failed)
+        assert summary["sim_job_seconds{state=failed}"]["count"] == len(failed)
+
+
+class TestObservabilityIsObservational:
+    def test_results_identical_with_and_without_instrumentation(self, tmp_path):
+        plain = run_comparison(
+            ["secddr_ctr"], ["mcf"], experiment=FAST, jobs=2
+        )
+        obs.enable()
+        tracer = obs.Tracer(tmp_path / "t.jsonl")
+        obs.set_tracer(tracer)
+        instrumented = run_comparison(
+            ["secddr_ctr"], ["mcf"], experiment=FAST, jobs=2
+        )
+        obs.set_tracer(None)
+        tracer.close()
+        assert json.dumps(plain.to_payload(), sort_keys=True) == json.dumps(
+            instrumented.to_payload(), sort_keys=True
+        )
+
+    def test_cache_keys_unchanged_by_instrumentation(self):
+        job = _jobs()[0]
+        key_off = job.cache_key()
+        obs.enable()
+        obs.set_tracer(obs.Tracer())
+        key_on = job.cache_key()
+        assert key_off == key_on
+
+
+# ---------------------------------------------------------------------------
+# Session API
+# ---------------------------------------------------------------------------
+class TestSessionObservability:
+    def test_with_observability_collects_metrics_and_spans(self, tmp_path):
+        from repro.api import Session
+
+        trace_path = tmp_path / "session.jsonl"
+        session = (
+            Session()
+            .with_observability(trace_out=trace_path)
+            .configs("secddr_ctr")
+            .workloads("mcf")
+            .with_experiment(num_accesses=240, num_cores=1)
+        )
+        session.compare()
+        summary = session.metrics_summary()
+        assert summary["sim_jobs_total{state=done}"] >= 1
+        tracer = obs.set_tracer(None)
+        tracer.close()
+        names = {
+            json.loads(line)["name"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert {"matrix", "job", "engine"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Server surface
+# ---------------------------------------------------------------------------
+class TestServerObservability:
+    def test_metrics_endpoint_and_enriched_health(self, tmp_path):
+        import threading as _threading
+
+        from repro.server import Client, make_server
+        from repro.server.service import ExperimentService
+
+        obs.enable()
+        service = ExperimentService(tmp_path / "service", jobs=1)
+        service.start(recover=False)
+        server = make_server(service, port=0)
+        thread = _threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = Client("http://%s:%d" % server.server_address[:2])
+        try:
+            job = client.submit({
+                "kind": "compare",
+                "configurations": ["secddr_ctr"],
+                "workloads": ["mcf"],
+                "experiment": {"num_accesses": 240, "num_cores": 1},
+            })
+            client.wait(job["id"])
+
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["uptime_seconds"] > 0
+            assert health["queue_depth"] == 0
+            assert health["jobs"]["queued"] == 1
+            assert health["jobs"]["done"] == 1
+            assert health["jobs"]["failed"] == 0
+            assert health["current_job"] is None
+
+            families = parse_prometheus(client.metrics())
+            assert len(families) >= 8
+            for expected in (
+                "server_jobs_total", "server_queue_depth", "server_job_seconds",
+                "server_requests_total", "sim_jobs_total", "cache_ops_total",
+            ):
+                assert expected in families, expected
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.stop()
+
+
+# ---------------------------------------------------------------------------
+# Timing discipline (the audit satellite, pinned)
+# ---------------------------------------------------------------------------
+class TestTimingDiscipline:
+    #: Files that legitimately read the wall clock -- timestamps shown to
+    #: humans or persisted in job records, never durations.
+    WALL_CLOCK_ALLOWED = {
+        "server/service.py",
+        "server/jobstore.py",
+        "obs/log.py",
+    }
+
+    def test_durations_use_perf_counter_not_wall_clock(self):
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            relative = path.relative_to(src).as_posix()
+            if relative in self.WALL_CLOCK_ALLOWED:
+                continue
+            if "time.time(" in path.read_text():
+                offenders.append(relative)
+        assert offenders == [], (
+            "time.time() outside the timestamp allowlist (use "
+            "time.perf_counter() for durations): %s" % offenders
+        )
