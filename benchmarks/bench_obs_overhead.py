@@ -2,9 +2,10 @@
 
 Times cold single-job runner passes (workload ``mcf`` through
 ``secddr_ctr``, two cores, fresh cache per pass) with observability fully
-off vs fully on (live metrics registry plus a collector tracer), asserts
-exact result parity between the two modes, and reports accesses/second per
-mode plus the on/off overhead ratio.
+off vs fully on (live metrics registry plus a collector tracer) vs
+timeline-recording (a windowed :class:`repro.obs.TimelineRecorder`),
+asserts exact result parity across all modes, and reports accesses/second
+per mode plus the on/off and timeline/off overhead ratios.
 
 Two entry points, both thin wrappers over the registered ``obs``
 :class:`repro.bench.BenchSpec`:
@@ -66,13 +67,22 @@ if pytest is not None:
     def test_obs_overhead_and_parity():
         entry = get_bench("obs").measure(_context())
         ratio = entry.metrics["overhead_ratio"]
-        print("obs on/off overhead %.3fx (ceiling %.2fx)" % (ratio, OVERHEAD_CEILING))
+        timeline_ratio = entry.metrics["timeline_overhead_ratio"]
+        print("obs on/off overhead %.3fx, timeline %.3fx (ceiling %.2fx)"
+              % (ratio, timeline_ratio, OVERHEAD_CEILING))
         assert entry.metrics["parity_exact"] == 1.0, (
             "instrumented run changed simulation results"
+        )
+        assert entry.metrics["timeline_parity_exact"] == 1.0, (
+            "timeline-recording run changed simulation results"
         )
         assert ratio <= OVERHEAD_CEILING, (
             "observability overhead %.3fx exceeds the %.2fx ceiling"
             % (ratio, OVERHEAD_CEILING)
+        )
+        assert timeline_ratio <= OVERHEAD_CEILING, (
+            "timeline overhead %.3fx exceeds the %.2fx ceiling"
+            % (timeline_ratio, OVERHEAD_CEILING)
         )
 
 

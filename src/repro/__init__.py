@@ -37,8 +37,11 @@ substrate its evaluation depends on:
 * :mod:`repro.obs` -- unified observability: labelled metrics with exact
   cross-process aggregation (``GET /metrics`` Prometheus exposition),
   hierarchical ``perf_counter`` spans exportable to Chrome trace format
-  (``--trace-out`` / ``repro obs export-trace``), and structured JSON
-  logging (``--log-level`` / ``--log-json``; see ``docs/observability.md``).
+  (``--trace-out`` / ``repro obs export-trace``), windowed simulation
+  timelines rendered as a self-contained HTML dashboard (``--timeline`` /
+  ``GET /jobs/{id}/timeline`` / ``GET /metrics/stream``), and structured
+  JSON logging (``--log-level`` / ``--log-json``; see
+  ``docs/observability.md``).
 
 Reproduce the whole paper (see ``docs/reproducing-the-paper.md``)::
 
@@ -90,7 +93,7 @@ from repro.workloads import (
     workload_names,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Session",

@@ -139,6 +139,7 @@ class Session:
         self,
         metrics: bool = True,
         trace_out: Optional[Union[str, Path]] = None,
+        timeline: Optional[Union[bool, int]] = None,
     ) -> "Session":
         """Enable observability for everything this session runs.
 
@@ -146,9 +147,12 @@ class Session:
         (process-global, like the CLI flags); read it back with
         :meth:`metrics_summary` or :func:`repro.obs.render_prometheus`.
         ``trace_out`` additionally streams hierarchical spans as JSONL to
-        the given path (convert with ``repro obs export-trace``).  Neither
-        changes any simulation result or cache key -- instrumentation is
-        observational only.
+        the given path (convert with ``repro obs export-trace``).
+        ``timeline=True`` installs a :class:`repro.obs.TimelineRecorder`
+        capturing windowed per-run telemetry (an ``int`` sets the sampling
+        window in accesses); read it back with :meth:`timeline_payload`.
+        None of these change any simulation result or cache key --
+        instrumentation is observational only.
         """
         from repro import obs
 
@@ -158,6 +162,9 @@ class Session:
             previous = obs.set_tracer(obs.Tracer(trace_out))
             if previous is not None:
                 previous.close()
+        if timeline:
+            window = timeline if isinstance(timeline, int) and not isinstance(timeline, bool) else None
+            obs.enable_timeline(window=window)
         return self
 
     def metrics_summary(self) -> Dict[str, object]:
@@ -165,6 +172,22 @@ class Session:
         from repro import obs
 
         return obs.get_registry().summary()
+
+    def timeline_payload(self) -> Optional[Dict[str, object]]:
+        """The active timeline recorder's payload (None when timelines are off).
+
+        The payload is JSON-friendly (see
+        :meth:`repro.obs.TimelineRecorder.to_payload`) and is the exact
+        structure ``GET /jobs/{id}/timeline`` serves and the dashboard
+        renders -- pass it to :func:`repro.obs.render_dashboard` for the
+        self-contained HTML view.
+        """
+        from repro import obs
+
+        recorder = obs.current_timeline()
+        if recorder is None:
+            return None
+        return recorder.to_payload()
 
     def with_engine(self, engine: Optional[EngineLike]) -> "Session":
         """Select the simulation engine for every run this session executes.

@@ -417,11 +417,24 @@ def _run_obs(ctx: BenchContext) -> Dict[str, float]:
         obs.set_tracer(previous_tracer)
         obs.set_registry(previous_registry)
 
+    # Third pass: windowed timeline recording on top of metrics+tracing off.
+    # Gated for parity (byte-identical results) and tracked for overhead.
+    previous_timeline = obs.set_timeline(obs.TimelineRecorder())
+    try:
+        timeline_seconds, timeline_result = _best_of(cold_pass, ctx.rounds)
+        timeline_samples = obs.current_timeline().sample_count
+    finally:
+        obs.set_timeline(previous_timeline)
+
     return {
         "off_accesses_per_second": round(accesses / off_seconds, 1),
         "on_accesses_per_second": round(accesses / on_seconds, 1),
         "overhead_ratio": round(on_seconds / off_seconds, 4),
         "parity_exact": _parity(off_result, on_result),
+        "timeline_accesses_per_second": round(accesses / timeline_seconds, 1),
+        "timeline_overhead_ratio": round(timeline_seconds / off_seconds, 4),
+        "timeline_parity_exact": _parity(off_result, timeline_result)
+        if timeline_samples > 0 else 0.0,
     }
 
 
@@ -429,8 +442,8 @@ register_bench(BenchSpec(
     key="obs",
     title="Observability overhead guard",
     description="Cold single-job runner passes with metrics+tracing off vs "
-    "on; gates the on/off overhead ratio and result parity so the "
-    "zero-overhead-when-off contract stays honest.",
+    "on vs timeline-recording; gates the on/off overhead ratio and result "
+    "parity so the zero-overhead-when-off contract stays honest.",
     source="bench_obs_overhead.py",
     metrics=(
         MetricSpec("off_accesses_per_second", unit="acc/s", noisy=True),
@@ -438,6 +451,10 @@ register_bench(BenchSpec(
         MetricSpec("overhead_ratio", unit="x", higher_is_better=False,
                    max_regression=0.25, noisy=True),
         MetricSpec("parity_exact", unit="bool", max_regression=0.0),
+        MetricSpec("timeline_accesses_per_second", unit="acc/s", noisy=True),
+        MetricSpec("timeline_overhead_ratio", unit="x",
+                   higher_is_better=False, noisy=True),
+        MetricSpec("timeline_parity_exact", unit="bool", max_regression=0.0),
     ),
     run=_run_obs,
 ))

@@ -171,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_set_argument(compare)
     _add_engine_argument(compare)
     _add_trace_argument(compare)
+    _add_timeline_arguments(compare)
     _add_runner_arguments(compare)
 
     sweep = subparsers.add_parser(
@@ -193,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_set_argument(sweep)
     _add_engine_argument(sweep)
     _add_trace_argument(sweep)
+    _add_timeline_arguments(sweep)
     _add_runner_arguments(sweep)
 
     reproduce = subparsers.add_parser(
@@ -230,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_argument(reproduce)
     _add_engine_argument(reproduce)
     _add_trace_argument(reproduce)
+    _add_timeline_arguments(reproduce)
     _add_runner_arguments(
         reproduce,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
@@ -382,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fingerprint — mismatches are flagged in the report instead)",
     )
     _add_trace_argument(bench)
+    _add_timeline_arguments(bench)
     _add_runner_arguments(
         bench,
         cache_default_help="$REPRO_CACHE_DIR if set, otherwise a persistent "
@@ -495,6 +499,22 @@ def _add_trace_argument(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_timeline_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="record windowed simulation telemetry (IPC, metadata-cache hit "
+        "rate, ROB/MSHR occupancy, per-bank queue depth, integrity events) "
+        "and write it to PATH on exit: *.html writes the self-contained "
+        "dashboard, anything else the JSON payload; results and cache keys "
+        "are byte-identical with or without it",
+    )
+    subparser.add_argument(
+        "--timeline-window", type=int, default=None, metavar="N",
+        help="accesses per timeline sample (default: %d); implies timeline "
+        "recording even without --timeline" % obs.DEFAULT_TIMELINE_WINDOW,
+    )
+
+
 def _add_engine_argument(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--engine", default=None, metavar="NAME",
@@ -563,22 +583,63 @@ def _print_cache_stats(args: argparse.Namespace, cache: Optional[ResultCache]) -
                      cache.hits, cache.misses, cache.directory)
 
 
+def _write_timeline(recorder, path: str) -> None:
+    """Write a recorder's payload: ``*.html`` = dashboard, else JSON."""
+    import json
+
+    payload = recorder.to_payload()
+    if path.endswith((".html", ".htm")):
+        obs.write_dashboard(payload, path)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    print("wrote timeline %s (%d series)" % (path, len(payload["series"])),
+          file=sys.stderr)
+
+
 @contextlib.contextmanager
 def _observability(args: argparse.Namespace):
-    """Honor ``--trace-out``: tracer + metrics for the command's duration."""
+    """Honor ``--trace-out`` and ``--timeline`` for the command's duration.
+
+    ``--trace-out`` installs a tracer (and metrics); ``--timeline`` (or a
+    bare ``--timeline-window``) installs a :class:`repro.obs.TimelineRecorder`
+    and writes the recorded payload on exit.  Neither changes results or
+    cache keys.
+    """
     trace_out = getattr(args, "trace_out", None)
-    if not trace_out:
+    timeline_out = getattr(args, "timeline", None)
+    timeline_window = getattr(args, "timeline_window", None)
+    recorder = None
+    previous_recorder = None
+    if timeline_out or timeline_window:
+        recorder = obs.TimelineRecorder(
+            window=timeline_window or obs.DEFAULT_TIMELINE_WINDOW
+        )
+        previous_recorder = obs.set_timeline(recorder)
+    if not trace_out and recorder is None:
         yield None
         return
-    obs.enable()
-    tracer = obs.Tracer(trace_out)
-    previous = obs.set_tracer(tracer)
+    tracer = None
+    previous_tracer = None
+    if trace_out:
+        obs.enable()
+        tracer = obs.Tracer(trace_out)
+        previous_tracer = obs.set_tracer(tracer)
     try:
-        with tracer.span(args.command):
-            yield tracer
+        if tracer is not None:
+            with tracer.span(args.command):
+                yield tracer
+        else:
+            yield None
     finally:
-        obs.set_tracer(previous)
-        tracer.close()
+        if tracer is not None:
+            obs.set_tracer(previous_tracer)
+            tracer.close()
+        if recorder is not None:
+            obs.set_timeline(previous_recorder)
+            if timeline_out:
+                _write_timeline(recorder, timeline_out)
 
 
 def _split(value: str) -> List[str]:
@@ -1112,6 +1173,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         record, deltas, baseline_path=baseline_path, record_path=record_path,
     ))
     print("wrote %s" % report_path)
+    recorder = obs.current_timeline()
+    if recorder is not None and len(recorder):
+        # Bench runs with --timeline also drop the artifacts into --out so
+        # the dashboard sits next to BENCH_REPORT.md.
+        _write_timeline(recorder, os.path.join(args.out, "timeline.json"))
+        _write_timeline(recorder, os.path.join(args.out, "dashboard.html"))
     _print_cache_stats(args, cache)
 
     if args.check is None:

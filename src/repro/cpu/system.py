@@ -126,9 +126,16 @@ class System:
                 self._per_core_memory.append(memory)
 
     # ------------------------------------------------------------------
-    def run(self) -> SystemResult:
-        """Run every core to completion, interleaved in global time order."""
+    def run(self, timeline_series=None, timeline_window: int = 0) -> SystemResult:
+        """Run every core to completion, interleaved in global time order.
+
+        When ``timeline_series`` is set (a
+        :class:`repro.obs.timeline.TimelineSeries`), one window sample is
+        recorded after every ``timeline_window``-th processed access; the
+        off path pays one ``is not None`` test per step.
+        """
         active = list(range(len(self.cores)))
+        steps = 0
         while active:
             # Pick the core whose next request issues earliest.
             best_core = None
@@ -143,6 +150,10 @@ class System:
                 break
             core = self.cores[best_core]
             core.step(self._per_core_memory[best_core])
+            if timeline_series is not None:
+                steps += 1
+                if steps % timeline_window == 0:
+                    self._sample_timeline(timeline_series, steps)
             if core.done:
                 active.remove(best_core)
 
@@ -152,6 +163,54 @@ class System:
             workload=self.workload.name,
             core_results=core_results,
             memory_stats=memory_stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_timeline(self, series, accesses: int) -> None:
+        """Record one timeline window sample from the live model state.
+
+        Every value is read the same way the batch engine's sampler reads
+        its flat state, so reference and batch samples agree exactly:
+        cumulative instructions, the max per-core cycle, instantaneous
+        ROB/MSHR occupancy, demand/metadata counters and the per-bank
+        write-queue depth vector.
+        """
+        instructions = 0
+        cycles = 0.0
+        mshr = 0
+        rob = 0
+        for core in self.cores:
+            instructions += core._instructions_retired
+            if core._cpu_cycle > cycles:
+                cycles = core._cpu_cycle
+            outstanding = core._outstanding
+            mshr += len(outstanding)
+            if outstanding:
+                rob += core._instructions_retired - outstanding[0][1]
+        stats = getattr(self.memory, "stats", None)
+        controller = getattr(self.memory, "controller", None)
+        if controller is not None:
+            mapping = controller.mapping
+            num_bg = mapping.bank_groups
+            num_bpg = mapping.banks_per_group
+            depths = [0] * (mapping.ranks * num_bg * num_bpg)
+            for request in controller.write_queue.peek_all():
+                decoded = mapping.decode(request.address)
+                flat = (decoded.rank * num_bg + decoded.bank_group) * num_bpg
+                depths[flat + decoded.bank] += 1
+        else:
+            depths = []
+        series.sample(
+            accesses,
+            instructions,
+            cycles,
+            stats.demand_reads if stats is not None else 0,
+            stats.demand_writes if stats is not None else 0,
+            stats.metadata_accesses if stats is not None else 0,
+            stats.metadata_hits if stats is not None else 0,
+            rob,
+            mshr,
+            depths,
         )
 
     # ------------------------------------------------------------------

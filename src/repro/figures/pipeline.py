@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing as obs_tracing
 from repro.figures.registry import resolve_figures
 from repro.figures.spec import FigureArtifact, FigureContext, FigureSpec
@@ -71,6 +72,10 @@ class ReproductionReport:
     #: :meth:`repro.obs.MetricsRegistry.summary` of the pass, when metrics
     #: were enabled; rendered as an "Observability" section in REPORT.md.
     metrics_summary: Optional[dict] = field(default=None)
+    #: :meth:`repro.obs.TimelineRecorder.to_payload` of the pass, when a
+    #: timeline recorder was active; ``write_artifacts`` renders it as
+    #: ``dashboard.html`` + ``timeline.json``.
+    timeline: Optional[dict] = field(default=None)
 
     @property
     def artifacts(self) -> List[FigureArtifact]:
@@ -163,6 +168,7 @@ def reproduce(
             ephemeral.cleanup()
 
     registry = obs_metrics.get_registry()
+    recorder = obs_timeline.current_timeline()
     return ReproductionReport(
         outcomes=outcomes,
         experiment=ctx.experiment,
@@ -174,4 +180,5 @@ def reproduce(
         cache_directory=None if ephemeral is not None else str(cache.directory),
         workload_filter=ctx.workload_filter,
         metrics_summary=registry.summary() if obs_metrics.metrics_enabled() else None,
+        timeline=recorder.to_payload() if recorder is not None else None,
     )

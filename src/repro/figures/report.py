@@ -174,6 +174,14 @@ def render_report_markdown(report: ReproductionReport) -> str:
             ["result cache", report.cache_directory or "ephemeral (discarded)"],
         ],
     )
+    if report.timeline and report.timeline.get("series"):
+        lines += ["", "## Timeline", ""]
+        lines += [
+            "Windowed telemetry was recorded for %d series (window: %d "
+            "accesses); open `dashboard.html` for sparklines and event "
+            "markers, or read the raw payload in `timeline.json`."
+            % (len(report.timeline["series"]), report.timeline.get("window", 0)),
+        ]
     if report.metrics_summary:
         lines += ["", "## Observability", ""]
         lines += [
@@ -218,4 +226,15 @@ def write_artifacts(report: ReproductionReport, out_dir: Union[str, Path]) -> Li
     report_path = out / "REPORT.md"
     report_path.write_text(render_report_markdown(report))
     paths.append(report_path)
+    if report.timeline and report.timeline.get("series"):
+        from repro.obs.dashboard import render_dashboard
+
+        timeline_path = out / "timeline.json"
+        timeline_path.write_text(
+            json.dumps(report.timeline, indent=1, sort_keys=True) + "\n"
+        )
+        paths.append(timeline_path)
+        dashboard_path = out / "dashboard.html"
+        dashboard_path.write_text(render_dashboard(report.timeline))
+        paths.append(dashboard_path)
     return paths

@@ -1,6 +1,6 @@
-"""Unified observability: metrics, tracing, and structured logging.
+"""Unified observability: metrics, tracing, timelines, structured logging.
 
-Three stdlib-only pillars, all zero-overhead when off (see
+Four stdlib-only pillars, all zero-overhead when off (see
 ``docs/observability.md`` for the metric catalogue and span model):
 
 * :mod:`repro.obs.metrics` -- a thread-safe registry of labelled counters,
@@ -14,6 +14,12 @@ Three stdlib-only pillars, all zero-overhead when off (see
   ``perf_counter`` timebase, emitted as JSONL via ``--trace-out`` and
   exportable to Chrome trace-event format (Perfetto-viewable) with
   ``repro obs export-trace``.
+* :mod:`repro.obs.timeline` -- windowed simulation telemetry: both engines
+  emit per-window samples (IPC, metadata-cache hit rate, ROB/MSHR
+  occupancy, per-bank queue depth) plus indexed integrity/detection events
+  into a columnar :class:`~repro.obs.timeline.TimelineRecorder`; rendered
+  as a dependency-free single-file HTML dashboard by
+  :mod:`repro.obs.dashboard` (``--timeline``, ``GET /jobs/{id}/timeline``).
 * :mod:`repro.obs.log` -- a JSON log formatter plus ``--log-level`` /
   ``--log-json`` wiring that replaces bare prints in the server and runner
   verbose paths without changing their default byte-exact text output.
@@ -30,6 +36,18 @@ from repro.obs.metrics import (
     render_prometheus,
     set_registry,
 )
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_WINDOW,
+    TIMELINE_SCHEMA_VERSION,
+    TimelineRecorder,
+    TimelineSeries,
+    current_timeline,
+    disable_timeline,
+    enable_timeline,
+    set_timeline,
+    timeline_enabled,
+)
+from repro.obs.dashboard import render_dashboard, write_dashboard
 from repro.obs.tracing import (
     Tracer,
     current_tracer,
@@ -54,6 +72,17 @@ __all__ = [
     "span",
     "tracing_enabled",
     "export_chrome_trace",
+    "TIMELINE_SCHEMA_VERSION",
+    "DEFAULT_TIMELINE_WINDOW",
+    "TimelineRecorder",
+    "TimelineSeries",
+    "current_timeline",
+    "timeline_enabled",
+    "enable_timeline",
+    "disable_timeline",
+    "set_timeline",
+    "render_dashboard",
+    "write_dashboard",
     "JsonFormatter",
     "configure_logging",
     "get_logger",

@@ -1,0 +1,231 @@
+"""Self-contained HTML dashboard for timeline payloads.
+
+:func:`render_dashboard` turns one :meth:`TimelineRecorder.to_payload`
+dict (plus, optionally, a list of span records from the tracer) into a
+single HTML document with **zero external references**: styling is one
+inline ``<style>`` block, charts are inline SVG sparklines, and there is
+no JavaScript at all.  The file can be opened from disk, attached to a CI
+run, or downloaded from the experiment service as ``dashboard.html`` --
+it renders identically everywhere because it depends on nothing.
+
+Per series the dashboard shows sparklines for IPC, metadata-cache hit
+rate, ROB/MSHR occupancy and the peak per-bank write-queue depth, with
+vertical markers where ``integrity_miss`` / ``detection`` events fired
+(positioned by their access index).  When span records are provided (the
+tracer's dict form), a phase-attribution table breaks the run down by
+span name with total duration and count.
+
+The markup is deliberately well-formed XML (XHTML-style void elements,
+quoted attributes, escaped text) so CI can validate it with a strict
+parser.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_SPARK_WIDTH = 560
+_SPARK_HEIGHT = 64
+_PAD = 4
+
+#: Event kinds get stable marker colours; anything else falls back to grey.
+_EVENT_COLORS = {
+    "integrity_miss": "#d9822b",
+    "detection": "#c23b22",
+}
+
+_STYLE = """
+body { font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1c2733; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0; }
+th, td { border: 1px solid #d4dbe3; padding: 0.25rem 0.6rem;
+         font-size: 0.85rem; text-align: left; }
+th { background: #f0f3f7; }
+.meta { color: #5a6b7d; font-size: 0.85rem; }
+.chart { margin: 0.75rem 0; }
+.chart .label { font-size: 0.8rem; color: #38495a; margin-bottom: 0.1rem; }
+svg { background: #f8fafc; border: 1px solid #d4dbe3; }
+.legend { font-size: 0.8rem; color: #5a6b7d; }
+""".strip()
+
+
+def _spark_points(values: Sequence[float]) -> str:
+    """SVG polyline points for one value series, scaled into the viewbox."""
+    n = len(values)
+    if n == 0:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    inner_w = _SPARK_WIDTH - 2 * _PAD
+    inner_h = _SPARK_HEIGHT - 2 * _PAD
+    step = inner_w / (n - 1) if n > 1 else 0.0
+    points = []
+    for index, value in enumerate(values):
+        x = _PAD + index * step
+        y = _PAD + inner_h * (1.0 - (value - lo) / span)
+        points.append("%.1f,%.1f" % (x, y))
+    return " ".join(points)
+
+
+def _sparkline(
+    label: str,
+    values: Sequence[float],
+    accesses: Sequence[float],
+    events: Iterable[Dict[str, object]] = (),
+    color: str = "#2b6cb0",
+) -> List[str]:
+    """One labelled sparkline ``<div>``, with event markers if any land."""
+    if not values:
+        return []
+    last = values[-1]
+    lines = [
+        '<div class="chart">',
+        '<div class="label">%s <span class="meta">min %.4g / max %.4g / last %.4g</span></div>'
+        % (escape(label), min(values), max(values), last),
+        '<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">'
+        % (_SPARK_WIDTH, _SPARK_HEIGHT, _SPARK_WIDTH, _SPARK_HEIGHT),
+    ]
+    max_access = accesses[-1] if accesses else 0
+    if max_access:
+        inner_w = _SPARK_WIDTH - 2 * _PAD
+        for event in events:
+            index = event.get("access_index") or 0
+            fraction = min(max(index / max_access, 0.0), 1.0)
+            x = _PAD + inner_w * fraction
+            kind = str(event.get("kind") or "")
+            marker = _EVENT_COLORS.get(kind, "#8a97a5")
+            lines.append(
+                '<line x1="%.1f" y1="0" x2="%.1f" y2="%d" stroke="%s" '
+                'stroke-width="1" opacity="0.6"><title>%s @ access %d</title></line>'
+                % (x, x, _SPARK_HEIGHT, marker, escape(kind), index)
+            )
+    lines.append(
+        '<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>'
+        % (_spark_points(values), color)
+    )
+    lines.append("</svg>")
+    lines.append("</div>")
+    return lines
+
+
+def _series_section(series: Dict[str, object]) -> List[str]:
+    samples = series.get("samples") or {}
+    accesses = samples.get("accesses") or []
+    events = series.get("events") or []
+    title = "%s / %s (%s engine)" % (
+        series.get("workload"), series.get("configuration"), series.get("engine"),
+    )
+    lines = ["<h2>%s</h2>" % escape(title)]
+    lines.append(
+        '<p class="meta">%d sample(s), window %s accesses, %d event(s)%s</p>'
+        % (
+            series.get("sample_count") or 0,
+            series.get("window"),
+            len(events),
+            ", %d dropped past the cap" % series["events_dropped"]
+            if series.get("events_dropped") else "",
+        )
+    )
+    bank_depth = series.get("bank_depth") or []
+    peak_bank = [max(row) if row else 0 for row in bank_depth]
+    for label, key, color in (
+        ("IPC", "ipc", "#2b6cb0"),
+        ("metadata-cache hit rate", "metadata_hit_rate", "#2f855a"),
+        ("ROB occupancy", "rob_occupancy", "#6b46c1"),
+        ("MSHR occupancy", "mshr_occupancy", "#b7791f"),
+    ):
+        lines += _sparkline(label, samples.get(key) or [], accesses, events, color)
+    lines += _sparkline(
+        "peak per-bank write-queue depth", peak_bank, accesses, events, "#975a16"
+    )
+    if events:
+        rows = "".join(
+            "<tr><td>%s</td><td>%s</td><td>%s</td></tr>"
+            % (
+                escape(str(event.get("kind"))),
+                event.get("access_index"),
+                escape(str(event.get("label") or "")) or "&#8211;",
+            )
+            for event in events[:32]
+        )
+        lines.append("<details><summary class=\"legend\">first %d event(s)</summary>" % min(len(events), 32))
+        lines.append(
+            "<table><tr><th>kind</th><th>access index</th><th>label</th></tr>%s</table>"
+            % rows
+        )
+        lines.append("</details>")
+    return lines
+
+
+def _phase_section(spans: Sequence[Dict[str, object]]) -> List[str]:
+    """Phase attribution: wall time and counts grouped by span name."""
+    totals: Dict[str, List[float]] = {}
+    for record in spans:
+        name = str(record.get("name") or "?")
+        entry = totals.setdefault(name, [0.0, 0])
+        entry[0] += float(record.get("dur") or 0.0)
+        entry[1] += 1
+    if not totals:
+        return []
+    lines = ["<h2>Phase attribution</h2>"]
+    lines.append(
+        "<table><tr><th>span</th><th>count</th><th>total seconds</th></tr>"
+    )
+    for name in sorted(totals, key=lambda n: -totals[n][0]):
+        total, count = totals[name]
+        lines.append(
+            "<tr><td>%s</td><td>%d</td><td>%.4f</td></tr>"
+            % (escape(name), count, total)
+        )
+    lines.append("</table>")
+    return lines
+
+
+def render_dashboard(
+    payload: Dict[str, object],
+    spans: Optional[Sequence[Dict[str, object]]] = None,
+    title: str = "repro timeline dashboard",
+) -> str:
+    """Render one timeline payload (+ optional spans) as a single HTML file."""
+    series_list = payload.get("series") or []
+    lines = [
+        "<!DOCTYPE html>",
+        '<html lang="en">',
+        "<head>",
+        '<meta charset="utf-8"/>',
+        "<title>%s</title>" % escape(title),
+        "<style>%s</style>" % _STYLE,
+        "</head>",
+        "<body>",
+        "<h1>%s</h1>" % escape(title),
+        '<p class="meta">schema %s, window %s accesses, %d series. '
+        "Vertical markers are integrity-miss / detection events at their "
+        "access index.</p>"
+        % (payload.get("schema"), payload.get("window"), len(series_list)),
+    ]
+    if not series_list:
+        lines.append('<p class="meta">No timeline samples were recorded.</p>')
+    for series in series_list:
+        lines += _series_section(series)
+    if spans:
+        lines += _phase_section(spans)
+    lines += ["</body>", "</html>"]
+    return "\n".join(lines) + "\n"
+
+
+def write_dashboard(
+    payload: Dict[str, object],
+    path: Union[str, Path],
+    spans: Optional[Sequence[Dict[str, object]]] = None,
+    title: str = "repro timeline dashboard",
+) -> Path:
+    """Render and write ``dashboard.html``; returns the path."""
+    path = Path(path)
+    path.write_text(render_dashboard(payload, spans=spans, title=title))
+    return path

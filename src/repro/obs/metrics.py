@@ -314,12 +314,20 @@ def set_registry(registry):
 
 
 def _escape_label(value):
+    # Label values escape backslash, double quote and newline (0.0.4 text
+    # format); unescaped occurrences would corrupt the sample line.
     return (
         str(value)
         .replace("\\", "\\\\")
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _escape_help(text):
+    # HELP text escapes backslash and newline only (quotes stay literal
+    # per the 0.0.4 text format).
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(key, extra=None):
@@ -345,7 +353,7 @@ def render_prometheus(registry=None):
     lines = []
     for name, family in registry.families():
         if family.help:
-            lines.append("# HELP %s %s" % (name, family.help))
+            lines.append("# HELP %s %s" % (name, _escape_help(family.help)))
         lines.append("# TYPE %s %s" % (name, family.kind))
         for key in sorted(family.children):
             child = family.children[key]

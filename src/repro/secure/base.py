@@ -115,6 +115,10 @@ class SecureMemorySystem:
         self.crypto_latency_cpu_cycles = crypto_latency_cpu_cycles
         self.stats = SecureMemoryStats()
         self._total_instructions_hint = 0
+        #: Live :class:`repro.obs.timeline.TimelineSeries` while a timeline
+        #: recorder is installed; ``None`` (the default) costs one attribute
+        #: read per metadata miss.  Set by the reference engine.
+        self._timeline_series = None
 
     # ------------------------------------------------------------------
     # Demand-access entry points (the CPU-facing interface)
@@ -198,6 +202,15 @@ class SecureMemorySystem:
             self.stats.metadata_hits += 1
         else:
             self.stats.metadata_reads += 1
+            series = self._timeline_series
+            if series is not None:
+                # The demand-access index this integrity fetch fired at;
+                # demand counters are bumped before expansion in both
+                # engines, so the indices agree bit-for-bit.
+                series.event(
+                    "integrity_miss",
+                    self.stats.demand_reads + self.stats.demand_writes,
+                )
             completion = self.controller.service_read(
                 MemoryRequest(
                     address=metadata_address,

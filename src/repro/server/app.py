@@ -7,11 +7,13 @@ method  path                          behaviour
 ======  ============================  ===========================================
 GET     /health                       liveness, version, uptime, queue + job counts
 GET     /metrics                      Prometheus text exposition (repro.obs)
+GET     /metrics/stream               live SSE metric summaries (?limit=N to bound)
 GET     /registries                   machine-readable registry dump
 POST    /jobs                         submit a job spec (201 + record)
 GET     /jobs                         every job record, submission order
 GET     /jobs/{id}                    one record (state, progress, error)
 GET     /jobs/{id}/events             Server-Sent Events progress stream
+GET     /jobs/{id}/timeline           windowed telemetry payload (live or persisted)
 GET     /jobs/{id}/result             canonical result bytes (409 until done)
 GET     /jobs/{id}/artifacts          artifact name list
 GET     /jobs/{id}/artifacts/{name}   one artifact file
@@ -50,6 +52,7 @@ _CONTENT_TYPES = {
     ".md": "text/markdown; charset=utf-8",
     ".txt": "text/plain; charset=utf-8",
     ".jsonl": "application/x-ndjson",
+    ".html": "text/html; charset=utf-8",
 }
 
 
@@ -137,6 +140,8 @@ class _Handler(BaseHTTPRequestHandler):
         elif parts == ["metrics"]:
             body = obs_metrics.render_prometheus().encode("utf-8")
             self._send_bytes(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif parts == ["metrics", "stream"]:
+            self._stream_metrics()
         elif parts == ["registries"]:
             self._send_json(200, registries_payload())
         elif parts == ["jobs"]:
@@ -156,6 +161,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, record.payload())
         elif rest == ["events"]:
             self._stream_events(job_id)
+        elif rest == ["timeline"]:
+            self._send_json(200, self.service.timeline_payload(job_id))
         elif rest == ["result"]:
             self._send_result(record)
         elif rest == ["artifacts"]:
@@ -237,6 +244,53 @@ class _Handler(BaseHTTPRequestHandler):
                         self._write_chunk(b"")
                         return
                 time.sleep(self.poll_interval)
+        except BrokenPipeError:
+            pass
+
+    def _stream_metrics(self) -> None:
+        """Live SSE summaries of the metrics registry and current timeline.
+
+        Each event's ``data:`` is a JSON object with the registry's flat
+        summary, the service's health payload, and -- while a job is
+        executing with a timeline recorder -- the recorder's sample count,
+        so dashboards can watch a run progress without polling artifacts.
+        ``?limit=N`` closes the stream after N events (CI and curl use it
+        to bound the request); ``?interval=S`` overrides the default 0.5 s
+        emission period (clamped to the events poll interval).
+        """
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(self.path).query)
+        limit = None
+        if query.get("limit", [""])[0].isdigit():
+            limit = int(query["limit"][0])
+        try:
+            interval = float(query.get("interval", ["0.5"])[0])
+        except ValueError:
+            interval = 0.5
+        interval = max(self.poll_interval, interval)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        event_id = 0
+        try:
+            while limit is None or event_id < limit:
+                data: Dict[str, object] = {
+                    "event": "metrics",
+                    "metrics": obs_metrics.get_registry().summary(),
+                    "health": self.service.health_payload(),
+                }
+                recorder = getattr(self.service, "_current_timeline", None)
+                if recorder is not None:
+                    data["timeline_samples"] = recorder.sample_count
+                self._write_chunk(format_event(data, event_id=event_id))
+                event_id += 1
+                if limit is not None and event_id >= limit:
+                    break
+                time.sleep(interval)
+            self._write_chunk(b"")
         except BrokenPipeError:
             pass
 

@@ -76,12 +76,33 @@ class Client:
     # -- endpoints ------------------------------------------------------
     def health(self) -> Dict[str, object]:
         """The enriched liveness payload: status, version, uptime_seconds,
-        queue_depth, current_job, and cumulative ``jobs`` counts."""
+        queue_depth, current_job, cumulative ``jobs`` counts, and the
+        ``timeline`` availability block (``available`` + sampling
+        ``window``)."""
         return self._json("/health")
 
     def metrics(self) -> str:
         """The server's Prometheus text exposition (``GET /metrics``)."""
         return self._request("/metrics").decode("utf-8")
+
+    def metrics_stream(
+        self, limit: Optional[int] = None, interval: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Stream live metric summaries (``GET /metrics/stream``).
+
+        Yields one JSON record per SSE event (registry summary + health
+        payload + ``timeline_samples`` while a job is recording).  Without
+        ``limit`` the stream runs until the caller stops iterating.
+        """
+        query = []
+        if limit is not None:
+            query.append("limit=%d" % limit)
+        if interval is not None:
+            query.append("interval=%g" % interval)
+        path = "/metrics/stream" + ("?" + "&".join(query) if query else "")
+        request = Request(self.base_url + path)
+        with urlopen(request, timeout=self.timeout) as response:
+            yield from iter_events(response)
 
     def registries(self) -> Dict[str, object]:
         return self._json("/registries")
@@ -122,6 +143,14 @@ class Client:
 
     def result(self, job_id: str) -> Dict[str, object]:
         return json.loads(self.result_bytes(job_id))
+
+    def timeline(self, job_id: str) -> Dict[str, object]:
+        """The job's windowed telemetry payload (``GET /jobs/{id}/timeline``).
+
+        Live while the job runs, persisted afterwards; an empty ``series``
+        list means the job recorded nothing (or has not started yet).
+        """
+        return self._json("/jobs/%s/timeline" % job_id)
 
     def artifacts(self, job_id: str) -> List[str]:
         return self._json("/jobs/%s/artifacts" % job_id)["artifacts"]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import json
 import threading
 import time
 import traceback as traceback_module
@@ -29,6 +30,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing as obs_tracing
 from repro.obs.log import get_logger
 from repro.server.jobstore import JobRecord, JobStore
@@ -62,6 +64,7 @@ class ExperimentService:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        timeline_window: int = obs_timeline.DEFAULT_TIMELINE_WINDOW,
     ) -> None:
         self.workdir = Path(workdir)
         self.jobs = max(1, int(jobs))
@@ -80,6 +83,12 @@ class ExperimentService:
         self._started_monotonic = time.perf_counter()
         self._stats: Dict[str, int] = {"queued": 0, "done": 0, "failed": 0}
         self._current_job_id: Optional[str] = None
+        # Windowed simulation telemetry: every job runs against a fresh
+        # per-job TimelineRecorder (0 disables); the live recorder backs
+        # GET /jobs/{id}/timeline while the job runs, the persisted
+        # timeline.json artifact afterwards.
+        self.timeline_window = max(0, int(timeline_window))
+        self._current_timeline: Optional[obs_timeline.TimelineRecorder] = None
         self._executors: Dict[str, Callable] = {
             "compare": self._execute_compare,
             "sweep": self._execute_sweep,
@@ -169,6 +178,30 @@ class ExperimentService:
             "queue_depth": depth,
             "current_job": current,
             "jobs": stats,
+            "timeline": {
+                "available": self.timeline_window > 0,
+                "window": self.timeline_window,
+            },
+        }
+
+    def timeline_payload(self, job_id: str) -> Dict[str, object]:
+        """The timeline payload for ``GET /jobs/{id}/timeline``.
+
+        While the job is executing this reads the live per-job recorder
+        (so streaming clients see samples as they land); afterwards it
+        reads the persisted ``timeline.json`` artifact.  Unknown or not
+        yet-started jobs get an empty payload.
+        """
+        with self._condition:
+            if self._current_job_id == job_id and self._current_timeline is not None:
+                return self._current_timeline.to_payload()
+        path = self.store.artifacts_dir(job_id) / "timeline.json"
+        if path.exists():
+            return json.loads(path.read_text())
+        return {
+            "schema": obs_timeline.TIMELINE_SCHEMA_VERSION,
+            "window": self.timeline_window,
+            "series": [],
         }
 
     def wait(self, job_id: str, timeout: float = 60.0) -> JobRecord:
@@ -210,6 +243,20 @@ class ExperimentService:
         self.store.save(record)
         self.store.append_event(job_id, {"event": "state", "state": "running"})
         logger.info("job %s running (kind=%s)", job_id, record.kind)
+        recorder = None
+        previous_recorder = None
+        collector = None
+        previous_tracer = None
+        if self.timeline_window > 0:
+            recorder = obs_timeline.TimelineRecorder(window=self.timeline_window)
+            previous_recorder = obs_timeline.set_timeline(recorder)
+            with self._condition:
+                self._current_timeline = recorder
+            if obs_tracing.current_tracer() is None:
+                # Collect the job/phase spans for the dashboard's phase
+                # attribution without touching a user-configured tracer.
+                collector = obs_tracing.Tracer()
+                previous_tracer = obs_tracing.set_tracer(collector)
         with obs_tracing.span("job", job_id=job_id, kind=record.kind):
             try:
                 executor = self._executors[record.kind]
@@ -238,6 +285,15 @@ class ExperimentService:
                 }
         elapsed = time.perf_counter() - started
         record.finished_at = time.time()  # wall-clock: this is a timestamp
+        if recorder is not None:
+            obs_timeline.set_timeline(previous_recorder)
+            spans = None
+            if collector is not None:
+                obs_tracing.set_tracer(previous_tracer)
+                spans = collector.drain()
+            self._persist_timeline(job_id, recorder, spans)
+            with self._condition:
+                self._current_timeline = None
         self.store.save(record)
         with self._condition:
             self._current_job_id = None
@@ -258,6 +314,28 @@ class ExperimentService:
             terminal["error"] = record.error
         self.store.append_event(job_id, terminal)
         logger.info("job %s %s in %.3fs", job_id, record.state, elapsed)
+
+    def _persist_timeline(self, job_id, recorder, spans) -> None:
+        """Write ``timeline.json`` and ``dashboard.html`` job artifacts.
+
+        Jobs whose executor never simulates anything (all-cache-hits
+        passes) still get the artifacts -- an empty dashboard beats a 404
+        for clients that download unconditionally.
+        """
+        from repro.obs.dashboard import render_dashboard
+
+        try:
+            artifacts = self.store.artifacts_dir(job_id)
+            artifacts.mkdir(parents=True, exist_ok=True)
+            payload = recorder.to_payload()
+            (artifacts / "timeline.json").write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
+            (artifacts / "dashboard.html").write_text(
+                render_dashboard(payload, spans=spans, title="job %s timeline" % job_id)
+            )
+        except OSError:  # pragma: no cover - disk-full etc. must not fail the job
+            logger.warning("could not persist timeline artifacts for job %s", job_id)
 
     # -- progress --------------------------------------------------------
     def _progress_hook(self, record: JobRecord):

@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional, Union
 import numpy as np
 
 from repro.errors import UnknownEngineError
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing as obs_tracing
 
 __all__ = [
@@ -206,7 +207,16 @@ class ReferenceEngine(Engine):
                 enable_prefetcher=experiment.enable_prefetcher,
             ),
         )
-        result = system.run()
+        timeline = obs_timeline.current_timeline()
+        series = None
+        window = 0
+        if timeline is not None:
+            series = timeline.series(
+                workload=trace.name, configuration=spec.name, engine=self.name
+            )
+            window = timeline.window
+            memory._timeline_series = series
+        result = system.run(timeline_series=series, timeline_window=window)
         memory.note_instructions(result.total_instructions)
         memory.finish()
         stats = memory.collect_stats()
@@ -688,6 +698,11 @@ def _simulate_batch(trace, spec, experiment):
             metadata_hits += 1
         else:
             metadata_reads += 1
+            if tl_series is not None:
+                # Same index the reference model stamps in
+                # SecureMemorySystem._metadata_access: demand counters are
+                # bumped before metadata expansion in both engines.
+                tl_series.event("integrity_miss", demand_reads + demand_writes)
             completion = serve_read(address, fb, group, rank, row, cycle)
         if writeback is not None:
             metadata_writebacks += 1
@@ -860,6 +875,42 @@ def _simulate_batch(trace, spec, experiment):
     # traced-off replay loop free of any tracer work.
     tracer = obs_tracing.current_tracer()
 
+    # Timeline sampling mirrors System._sample_timeline value-for-value so
+    # reference and batch window samples agree exactly; off it costs the
+    # replay loop a single ``is not None`` test per access.
+    timeline = obs_timeline.current_timeline()
+    tl_series = None
+    tl_window = 0
+    tl_steps = 0
+    if timeline is not None:
+        tl_series = timeline.series(
+            workload=trace.name, configuration=spec.name, engine="batch"
+        )
+        tl_window = timeline.window
+
+    def tl_sample():
+        instructions = 0
+        cycles = 0.0
+        mshr = 0
+        rob = 0
+        for core in range(num_cores):
+            instructions += core_instr[core]
+            v = core_cpu[core]
+            if v > cycles:
+                cycles = v
+            head = out_head[core]
+            n = len(out_comp[core])
+            mshr += n - head
+            if head < n:
+                rob += core_instr[core] - out_inst[core][head]
+        depths = [0] * num_banks
+        for e in wq:
+            depths[e[3]] += 1
+        tl_series.sample(
+            tl_steps, instructions, cycles, demand_reads, demand_writes,
+            metadata_accesses, metadata_hits, rob, mshr, depths,
+        )
+
     def refill(c):
         chunk_start = tracer.now() if tracer is not None else 0.0
         try:
@@ -1030,6 +1081,10 @@ def _simulate_batch(trace, spec, experiment):
         core_cpu[c] = issue
         core_instr[c] = inst_index
         core_idx[c] = i + 1
+        if tl_series is not None:
+            tl_steps += 1
+            if tl_steps % tl_window == 0:
+                tl_sample()
         cycle = preview(c)
         if cycle is None:
             del active[pos]

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 from repro.cpu.trace import MemoryTrace
 from repro.errors import AmbiguousConfigurationError
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import tracing as obs_tracing
 from repro.secure.configs import (
     CONFIGURATIONS,
@@ -430,14 +431,26 @@ def _shipped_execute(executor: Callable, job) -> Tuple[object, float, Dict]:
     previous_registry = obs_metrics.set_registry(registry)
     collector = obs_tracing.Tracer()
     previous_tracer = obs_tracing.set_tracer(collector)
+    # The forked copy of the parent's recorder carries the configured window
+    # but would record into a dead object; a fresh worker-local recorder
+    # ships its series home the same way metrics and spans do.
+    parent_recorder = obs_timeline.current_timeline()
+    recorder = None
+    previous_recorder = None
+    if parent_recorder is not None:
+        recorder = obs_timeline.TimelineRecorder(window=parent_recorder.window)
+        previous_recorder = obs_timeline.set_timeline(recorder)
     try:
         result, elapsed = executor(job)
     finally:
         obs_metrics.set_registry(previous_registry)
         obs_tracing.set_tracer(previous_tracer)
+        if recorder is not None:
+            obs_timeline.set_timeline(previous_recorder)
     return result, elapsed, {
         "metrics": registry.snapshot(),
         "spans": collector.drain(),
+        "timeline": recorder.snapshot() if recorder is not None else None,
     }
 
 
@@ -532,7 +545,11 @@ class ParallelRunner:
                     # globals, so when metrics or tracing are live their
                     # local state is shipped back with each result and
                     # merged parent-side (exact totals, rebased spans).
-                    if obs_metrics.metrics_enabled() or obs_tracing.tracing_enabled():
+                    if (
+                        obs_metrics.metrics_enabled()
+                        or obs_tracing.tracing_enabled()
+                        or obs_timeline.timeline_enabled()
+                    ):
                         executor = functools.partial(_shipped_execute, executor)
                     with multiprocessing.Pool(processes=workers) as pool:
                         # imap streams outcomes in job order as workers finish,
@@ -563,6 +580,9 @@ class ParallelRunner:
             ).observe(elapsed)
             if shipped is not None:
                 registry.merge(shipped["metrics"])
+                recorder = obs_timeline.current_timeline()
+                if recorder is not None and shipped.get("timeline"):
+                    recorder.merge(shipped["timeline"])
             if tracer is not None:
                 start = tracer.now() - elapsed
                 span_id = tracer.record(

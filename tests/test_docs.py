@@ -108,6 +108,18 @@ class TestObservabilityDoc:
         assert "export-trace" in text and "--log-json" in text
         assert "perfetto" in text.lower()
 
+    def test_documents_the_timeline_surfaces(self):
+        text = OBSERVABILITY_DOC.read_text()
+        assert "--timeline" in text and "--timeline-window" in text
+        assert "/jobs/{id}/timeline" in text and "/metrics/stream" in text
+        assert "dashboard.html" in text and "timeline.json" in text
+        assert "with_observability(" in text and "timeline=" in text
+
+    def test_readme_has_a_watching_a_run_live_section(self):
+        readme = README.read_text()
+        assert "Watching a run live" in readme
+        assert "--timeline" in readme and "/metrics/stream" in readme
+
     def test_metric_catalogue_matches_the_instrumented_names(self):
         # Every metric family the code registers must be catalogued.
         text = OBSERVABILITY_DOC.read_text()
@@ -151,7 +163,8 @@ class TestPackageDocstrings:
         "repro", "repro.analysis", "repro.attacks", "repro.bench",
         "repro.cache", "repro.controller", "repro.core", "repro.cpu",
         "repro.crypto", "repro.dram", "repro.figures", "repro.fuzz",
-        "repro.obs", "repro.secure", "repro.server", "repro.sim",
+        "repro.obs", "repro.obs.dashboard", "repro.obs.timeline",
+        "repro.secure", "repro.server", "repro.sim",
         "repro.sim.engines", "repro.traces", "repro.workloads",
     ])
     def test_every_subpackage_has_a_docstring(self, module):

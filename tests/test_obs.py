@@ -32,11 +32,13 @@ FAST = ExperimentConfig(num_accesses=240, num_cores=1)
 def _reset_observability():
     """Every test starts and ends with observability fully off."""
     obs.disable()
+    obs.set_timeline(None)
     previous = obs.set_tracer(None)
     if previous is not None:
         previous.close()
     yield
     obs.disable()
+    obs.set_timeline(None)
     tracer = obs.set_tracer(None)
     if tracer is not None:
         tracer.close()
@@ -149,9 +151,14 @@ class TestNullRegistry:
 # ---------------------------------------------------------------------------
 # Prometheus exposition
 # ---------------------------------------------------------------------------
+# Label values must be fully escaped: a backslash may only introduce the
+# three 0.0.4 escape sequences (\\, \", \n); raw quotes or stray backslashes
+# make the whole line malformed.
+_LABEL_VALUE = r'(?:\\["\\n]|[^"\\])*'
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"" + _LABEL_VALUE
+    + r"\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"" + _LABEL_VALUE + r"\")*\})?"
     r" (\+Inf|-?[0-9.e+-]+)$"
 )
 
@@ -160,20 +167,32 @@ def parse_prometheus(text):
     """Tiny exposition-format validator: returns {family: type}.
 
     Raises AssertionError on any malformed line -- the same checks CI's
-    obs-smoke job runs against a live ``GET /metrics`` scrape.
+    obs-smoke job runs against a live ``GET /metrics`` scrape.  Beyond
+    per-line syntax (including fully-escaped label values), every
+    histogram family must expose its ``_sum`` and ``_count`` series.
     """
     families = {}
+    sample_names = set()
     for line in text.splitlines():
         if not line:
             continue
         if line.startswith("# HELP "):
-            assert len(line.split(None, 3)) == 4, line
+            parts = line.split(None, 3)
+            assert len(parts) == 4, line
+            assert "\n" not in parts[3]  # escaped help never splits lines
         elif line.startswith("# TYPE "):
             _, _, name, kind = line.split()
             assert kind in ("counter", "gauge", "histogram"), line
             families[name] = kind
         else:
             assert _SAMPLE_RE.match(line), "malformed sample line: %r" % line
+            sample_names.add(line.split("{")[0].split(" ")[0])
+    for name, kind in families.items():
+        if kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                assert name + suffix in sample_names, (
+                    "histogram %s missing %s series" % (name, suffix)
+                )
     return families
 
 
@@ -204,6 +223,39 @@ class TestPrometheusRender:
         registry.counter("odd_total", label='quo"te\nnl').inc()
         text = obs.render_prometheus(registry)
         assert 'label="quo\\"te\\nnl"' in text
+
+    def test_backslash_label_values_escape_and_parse(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("path_total", path="C:\\tmp\\x").inc()
+        text = obs.render_prometheus(registry)
+        assert 'path="C:\\\\tmp\\\\x"' in text
+        parse_prometheus(obs.render_prometheus(registry))
+
+    def test_parser_rejects_unescaped_label_values(self):
+        # Raw backslash (not introducing an escape) and raw newline inside a
+        # label value are both malformed; the CI-shared parser must say so.
+        assert not _SAMPLE_RE.match('m_total{l="bad\\esc"} 1')
+        assert not _SAMPLE_RE.match('m_total{l="unterminated\\"} 1')
+        with pytest.raises(AssertionError, match="malformed"):
+            parse_prometheus('# TYPE m_total counter\nm_total{l="a\\b"} 1')
+        assert _SAMPLE_RE.match('m_total{l="ok\\\\really\\n\\"quoted\\""} 1')
+
+    def test_help_text_is_escaped_to_one_line(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("h_total", "multi\nline \\ help").inc()
+        text = obs.render_prometheus(registry)
+        assert "# HELP h_total multi\\nline \\\\ help" in text
+        parse_prometheus(text)
+
+    def test_every_histogram_family_has_sum_and_count(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("a_seconds", "A.", kind="x").observe(0.2)
+        registry.histogram("b_seconds", "B.").observe(1.5)
+        text = obs.render_prometheus(registry)
+        families = parse_prometheus(text)
+        assert families["a_seconds"] == families["b_seconds"] == "histogram"
+        for name in ("a_seconds", "b_seconds"):
+            assert "%s_sum" % name in text and "%s_count" % name in text
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +303,39 @@ class TestTracer:
         assert engine["id"] != shipped[0]["id"] or shipped[0]["id"] > 1
         assert engine["ts"] == pytest.approx(1.0 + shipped[0]["ts"])
 
+    def test_ingest_empty_worker_batch_is_a_noop(self):
+        parent = obs.Tracer()
+        job_id = parent.record("job", 0.0, 0.1)
+        parent.ingest([], base=0.0, parent=job_id)
+        records = parent.drain()
+        assert [r["name"] for r in records] == ["job"]
+
+    def test_ingest_out_of_order_worker_batch(self):
+        # Workers emit spans on exit, so a drained batch is not sorted by
+        # start time; ingest must rebase and reparent regardless of order.
+        worker = obs.Tracer()
+        with worker.span("outer"):
+            with worker.span("late"):
+                pass
+            with worker.span("later"):
+                pass
+        shipped = worker.drain()
+        shipped.reverse()  # deliberately out of start-time order
+        assert [r["name"] for r in shipped] == ["outer", "later", "late"]
+
+        parent = obs.Tracer()
+        job_id = parent.record("job", 2.0, 1.0)
+        parent.ingest(shipped, base=2.0, parent=job_id)
+        records = {r["name"]: r for r in parent.drain() if r["name"] != "job"}
+        assert set(records) == {"outer", "late", "later"}
+        assert records["outer"]["parent"] == job_id
+        assert records["late"]["parent"] == records["outer"]["id"]
+        assert records["later"]["parent"] == records["outer"]["id"]
+        for record in records.values():
+            assert record["ts"] >= 2.0  # rebased onto the parent timebase
+        ids = [r["id"] for r in records.values()]
+        assert len(set(ids)) == len(ids) and job_id not in ids
+
     def test_module_span_is_noop_when_off(self):
         assert not obs.tracing_enabled()
         with obs.span("anything", key="value") as span_id:
@@ -286,6 +371,15 @@ class TestChromeExport:
         outer = next(e for e in events if e["name"] == "outer")
         assert inner["args"]["parent_id"] == outer["args"]["span_id"]
         assert inner["args"]["step"] == 1
+
+    def test_export_with_zero_spans_writes_valid_empty_trace(self, tmp_path):
+        jsonl = tmp_path / "empty.jsonl"
+        jsonl.write_text("")
+        out = tmp_path / "chrome.json"
+        count = obs.export_chrome_trace(jsonl, out)
+        assert count == 0
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"] == []
 
 
 # ---------------------------------------------------------------------------

@@ -321,7 +321,9 @@ class TestHTTP:
     def test_artifact_download_and_traversal_guard(self, client):
         job = client.submit(dict(COMPARE_SPEC, workloads=["gcc"]))
         client.wait(job["id"])
-        assert client.artifacts(job["id"]) == ["normalized.csv", "table.txt"]
+        assert client.artifacts(job["id"]) == [
+            "dashboard.html", "normalized.csv", "table.txt", "timeline.json",
+        ]
         csv = client.artifact(job["id"], "normalized.csv").decode()
         assert csv.splitlines()[0].startswith("workload,")
         with pytest.raises(ServiceError) as excinfo:
@@ -419,5 +421,8 @@ class TestBenchJobs:
         assert "BENCH_REPORT.md" in names
         assert any(n.startswith("BENCH_") and n.endswith(".json") for n in names)
         artifacts_dir = service.store.artifacts_dir(record.id)
-        # Exactly the listed artifacts — no lock sidecars or temp files.
-        assert sorted(p.name for p in artifacts_dir.iterdir()) == sorted(names)
+        # Exactly the listed artifacts plus the service's per-job timeline
+        # pair — no lock sidecars or temp files.
+        assert sorted(p.name for p in artifacts_dir.iterdir()) == sorted(
+            names + ["dashboard.html", "timeline.json"]
+        )
